@@ -1,0 +1,49 @@
+// Shared helpers for the figure-regeneration benchmarks.
+//
+// Every bench binary is self-contained: it prints the paper figure it
+// regenerates, the rows/series of that figure, and a short "shape check"
+// comparing the qualitative result with the paper's claim.  Pass --full for
+// paper-scale sweeps; the default is a quick mode suitable for CI.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "rt/system.hpp"
+
+namespace bench {
+
+struct Args {
+  bool full = false;
+  std::uint64_t seed = 42;
+};
+
+inline Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) a.full = true;
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      a.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    }
+  }
+  return a;
+}
+
+inline void header(const char* fig, const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", fig);
+  std::printf("paper: %s\n", claim);
+  std::printf("==============================================================\n");
+}
+
+inline double to_cycles(const hrt::hw::MachineSpec& spec, hrt::sim::Nanos ns) {
+  return static_cast<double>(spec.freq.ns_to_cycles(ns));
+}
+
+/// PASS/FAIL line for the qualitative shape check.
+inline void shape_check(const char* what, bool ok) {
+  std::printf("[shape %s] %s\n", ok ? "PASS" : "FAIL", what);
+}
+
+}  // namespace bench

@@ -1,0 +1,93 @@
+// Figure 4: hard real-time scheduling verified by "external scope".
+//
+// A periodic thread with tau = 100 us, sigma = 50 us runs under the
+// scheduler; the scheduler toggles GPIO pins (thread active, scheduler pass,
+// interrupt handler), and the ScopeAnalyzer recovers what the oscilloscope
+// showed: the interrupt/scheduler traces are fuzzy (their path lengths
+// jitter) while the test thread's trace stays sharp — the scheduler absorbs
+// its own variance to keep the thread's timing deterministic.
+#include <fstream>
+
+#include "common.hpp"
+#include "sim/scope.hpp"
+#include "sim/trace_export.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hrt;
+  const bench::Args args = bench::parse_args(argc, argv);
+
+  bench::header(
+      "Figure 4: periodic thread (tau=100us sigma=50us) on the external scope",
+      "interrupt + scheduler traces show fuzz; the test thread trace is sharp");
+
+  System::Options o;
+  o.spec = hw::MachineSpec::phi_small(4);
+  o.seed = args.seed;
+  System sys(std::move(o));
+  sys.boot();
+  sys.machine().trace().enable();
+
+  auto behavior = std::make_unique<nk::FnBehavior>(
+      [](nk::ThreadCtx&, std::uint64_t step) {
+        if (step == 0) {
+          return nk::Action::change_constraints(rt::Constraints::periodic(
+              sim::millis(1), sim::micros(100), sim::micros(50)));
+        }
+        return nk::Action::compute(sim::micros(25));
+      });
+  nk::Thread* t = sys.spawn("test", std::move(behavior), 1);
+  sys.kernel().set_scope(nk::Kernel::ScopeConfig{
+      .enabled = true, .cpu = 1, .watch_thread = t});
+
+  const sim::Nanos horizon = args.full ? sim::millis(2000) : sim::millis(200);
+  sys.run_for(horizon);
+
+  // Reconstruct the three scope channels from the pin trace.
+  sim::ScopeAnalyzer chan[3];  // 0 thread, 1 scheduler pass, 2 irq handler
+  for (const auto& r : sys.machine().trace().filter(sim::TraceKind::kPin, 1)) {
+    const int pin = static_cast<int>(r.value >> 1);
+    const bool level = (r.value & 1) != 0;
+    if (pin >= 0 && pin < 3) chan[pin].transition(r.time, level);
+  }
+
+  const auto& spec = sys.machine().spec();
+  const char* names[3] = {"test thread ", "sched pass  ", "irq handler "};
+  std::printf("\n%-14s %10s %12s %12s %10s %9s\n", "channel", "pulses",
+              "width avg", "width std", "period", "duty");
+  double rel_fuzz[3];
+  for (int i = 0; i < 3; ++i) {
+    auto w = chan[i].pulse_width_stats();
+    auto p = chan[i].period_stats();
+    rel_fuzz[i] = w.mean() > 0 ? w.stddev() / w.mean() : 0.0;
+    std::printf("%-14s %10llu %9.0f cy %9.0f cy %7.1f us %8.1f%%\n", names[i],
+                (unsigned long long)w.count(),
+                bench::to_cycles(spec, (sim::Nanos)w.mean()),
+                bench::to_cycles(spec, (sim::Nanos)w.stddev()),
+                p.mean() / 1000.0, chan[i].duty_cycle() * 100.0);
+  }
+
+  std::printf("\nthread arrivals=%llu misses=%llu\n",
+              (unsigned long long)t->rt.arrivals,
+              (unsigned long long)t->rt.misses);
+
+  // Save the capture: the VCD opens in GTKWave (pin0 = test thread,
+  // pin1 = scheduler pass, pin2 = interrupt handler).
+  {
+    std::ofstream vcd("fig04_scope.vcd");
+    sim::export_pins_vcd(sys.machine().trace(), 1, vcd);
+    std::printf("scope capture written to fig04_scope.vcd\n");
+  }
+
+  auto period = chan[0].period_stats();
+  bench::shape_check("thread period locked to 100 us",
+                     period.mean() > 99'000 && period.mean() < 101'000);
+  bench::shape_check(
+      "thread duty ~50% (slightly above: active mark includes sched time)",
+      chan[0].duty_cycle() > 0.49 && chan[0].duty_cycle() < 0.58);
+  bench::shape_check(
+      "scheduler/irq fuzz exceeds thread-trace fuzz",
+      rel_fuzz[1] > 2.0 * rel_fuzz[0] && rel_fuzz[2] > 2.0 * rel_fuzz[0]);
+  bench::shape_check("zero deadline misses for a feasible constraint",
+                     t->rt.misses == 0);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 5: breakdown of local scheduler overheads on Phi and R415.
+//
+// "On the Phi, the software overhead is about 6000 cycles ... About half of
+// the overhead involves the scheduling pass itself, while the rest is spent
+// in interrupt processing and the context switch."  The R415's faster
+// hardware threads cut the cycle costs roughly in half, which is what moves
+// the feasibility edge from ~10 us down to ~4 us (Figures 6/7).
+#include "common.hpp"
+
+namespace {
+
+void run_machine(const hrt::hw::MachineSpec& spec, std::uint64_t seed,
+                 hrt::sim::Nanos horizon) {
+  using namespace hrt;
+  System::Options o;
+  o.spec = spec;
+  o.spec.num_cpus = 4;
+  o.seed = seed;
+  System sys(std::move(o));
+  sys.boot();
+
+  auto behavior = std::make_unique<nk::FnBehavior>(
+      [](nk::ThreadCtx&, std::uint64_t step) {
+        if (step == 0) {
+          return nk::Action::change_constraints(rt::Constraints::periodic(
+              sim::millis(1), sim::micros(100), sim::micros(50)));
+        }
+        return nk::Action::compute(sim::micros(25));
+      });
+  sys.spawn("load", std::move(behavior), 1);
+  sys.run_for(horizon);
+
+  const auto& oh = sys.kernel().executor(1).overheads();
+  const double irq = oh.irq.mean();
+  const double pass = oh.pass.mean();
+  const double other = oh.other.mean();
+  const double sw = oh.swtch.mean();
+  std::printf("\n%s (%.1f GHz), %llu scheduler passes:\n", spec.name.c_str(),
+              spec.freq.ghz(), (unsigned long long)oh.passes);
+  std::printf("  %-10s %10s %10s\n", "component", "avg (cyc)", "std (cyc)");
+  std::printf("  %-10s %10.0f %10.0f\n", "IRQ", irq, oh.irq.stddev());
+  std::printf("  %-10s %10.0f %10.0f\n", "Other", other, oh.other.stddev());
+  std::printf("  %-10s %10.0f %10.0f\n", "Resched", pass, oh.pass.stddev());
+  std::printf("  %-10s %10.0f %10.0f\n", "Switch", sw, oh.swtch.stddev());
+  const double total = irq + pass + other + sw;
+  std::printf("  %-10s %10.0f cycles  (%.1f us)\n", "TOTAL", total,
+              total / spec.freq.ghz() / 1000.0);
+
+  if (spec.name == "phi") {
+    bench::shape_check("Phi total overhead ~6000 cycles (paper: ~6000)",
+                       total > 4500 && total < 7500);
+    bench::shape_check("resched (pass) is roughly half the total",
+                       pass / total > 0.3 && pass / total < 0.6);
+  } else {
+    bench::shape_check("R415 cycle overheads well below Phi's",
+                       total < 3500);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+  bench::header("Figure 5: local scheduler overhead breakdown (Phi, R415)",
+                "Phi ~6000 cycles/invocation, ~half in the pass; R415 lower");
+  const hrt::sim::Nanos horizon =
+      args.full ? hrt::sim::seconds(5) : hrt::sim::millis(500);
+  run_machine(hrt::hw::MachineSpec::phi(), args.seed, horizon);
+  run_machine(hrt::hw::MachineSpec::r415(), args.seed, horizon);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 6: local scheduler deadline miss rate on the Phi as a function of
+// period (tau) and slice (sigma), with admission control off.
+//
+// "Once the period and slice are feasible given scheduler overhead, the
+// miss rate is zero. ... the transition point, or the 'edge of feasibility'
+// is for a period of about 10 us."
+#include "missrate_common.hpp"
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+  bench::header("Figure 6: deadline miss rate vs (tau, sigma) on Phi "
+                "(admission control disabled); cells = miss rate %",
+                "feasibility edge ~10 us; feasible combinations miss 0%");
+  auto points = bench::run_sweep(hrt::hw::MachineSpec::phi(), args,
+                                 /*print_rate=*/true);
+
+  bool feasible_zero = true;   // large periods, modest slices: no misses
+  bool infeasible_high = false;  // tiny period, fat slice: ~100%
+  for (const auto& p : points) {
+    if (p.period >= hrt::sim::micros(100) && p.slice_pct <= 70 &&
+        p.miss_rate > 0.01) {
+      feasible_zero = false;
+    }
+    if (p.period == hrt::sim::micros(10) && p.slice_pct >= 60 &&
+        p.miss_rate > 0.9) {
+      infeasible_high = true;
+    }
+  }
+  bench::shape_check("feasible region (tau >= 100us, sigma <= 70%) misses ~0%",
+                     feasible_zero);
+  bench::shape_check("infeasible region (tau = 10us, fat slices) misses ~100%",
+                     infeasible_high);
+  return 0;
+}

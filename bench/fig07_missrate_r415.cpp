@@ -1,0 +1,34 @@
+// Figure 7: deadline miss rate on the R415 (same sweep as Figure 6 plus a
+// 4 us period).
+//
+// "These lower overheads in turn make possible even smaller scheduling
+// constraints ... Here, the edge of feasibility is about 4 us."
+#include "missrate_common.hpp"
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+  bench::header("Figure 7: deadline miss rate vs (tau, sigma) on R415 "
+                "(admission control disabled); cells = miss rate %",
+                "feasibility edge ~4 us: finer constraints than the Phi");
+  auto points = bench::run_sweep(hrt::hw::MachineSpec::r415(), args,
+                                 /*print_rate=*/true);
+
+  // The R415 must be feasible at constraints where the Phi already fails:
+  // 10 us period with a 50% slice.
+  bool r415_10us_ok = false;
+  bool r415_4us_edge = false;
+  for (const auto& p : points) {
+    if (p.period == hrt::sim::micros(10) && p.slice_pct == 50 &&
+        p.miss_rate < 0.01) {
+      r415_10us_ok = true;
+    }
+    if (p.period == hrt::sim::micros(4) && p.slice_pct >= 70 &&
+        p.miss_rate > 0.5) {
+      r415_4us_edge = true;
+    }
+  }
+  bench::shape_check("10us/50% feasible on R415 (infeasible on Phi)",
+                     r415_10us_ok);
+  bench::shape_check("edge of feasibility near 4 us", r415_4us_edge);
+  return 0;
+}

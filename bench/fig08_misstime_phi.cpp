@@ -1,0 +1,32 @@
+// Figure 8: average (and deviation of) miss times on the Phi.
+//
+// "For feasible timing constraints, the miss times are of course always
+// zero.  For infeasible timing constraints, the miss times are generally
+// quite small compared to the constraint."
+#include "missrate_common.hpp"
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+  bench::header("Figure 8: mean miss time (us) vs (tau, sigma) on Phi "
+                "(admission control disabled); cells = mean lateness, us",
+                "misses, when they occur, are small (a few us)");
+  auto points = bench::run_sweep(hrt::hw::MachineSpec::phi(), args,
+                                 /*print_rate=*/false);
+
+  bool small_misses = true;
+  bool feasible_zero = true;
+  for (const auto& p : points) {
+    // Lateness stays within ~1.5x the period even deep in infeasibility.
+    if (p.miss_time_us * 1000.0 > 1.5 * static_cast<double>(p.period)) {
+      small_misses = false;
+    }
+    if (p.period >= hrt::sim::micros(100) && p.slice_pct <= 70 &&
+        p.miss_time_us > 0.01) {
+      feasible_zero = false;
+    }
+  }
+  bench::shape_check("feasible constraints: zero miss time", feasible_zero);
+  bench::shape_check("infeasible constraints: lateness bounded ~O(period)",
+                     small_misses);
+  return 0;
+}

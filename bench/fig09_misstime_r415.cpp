@@ -1,0 +1,28 @@
+// Figure 9: average miss times on the R415 (as Figure 8; includes 4 us).
+#include "missrate_common.hpp"
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+  bench::header("Figure 9: mean miss time (us) vs (tau, sigma) on R415 "
+                "(admission control disabled); cells = mean lateness, us",
+                "smaller absolute miss times than the Phi (faster CPUs)");
+  auto points = bench::run_sweep(hrt::hw::MachineSpec::r415(), args,
+                                 /*print_rate=*/false);
+
+  // Paper's Figure 9 y-axis tops out near 4.5 us vs ~10 us for the Phi:
+  // smaller absolute lateness, always small relative to the constraint.
+  double worst_rel = 0.0;
+  double at_4us = 0.0;
+  for (const auto& p : points) {
+    const double rel =
+        p.miss_time_us * 1000.0 / static_cast<double>(p.period);
+    if (rel > worst_rel) worst_rel = rel;
+    if (p.period == hrt::sim::micros(4) && p.miss_time_us > at_4us) {
+      at_4us = p.miss_time_us;
+    }
+  }
+  bench::shape_check("lateness always below one period", worst_rel < 1.0);
+  bench::shape_check("4 us constraints miss by only ~4 us (paper: <4.5)",
+                     at_4us > 0.0 && at_4us < 5.0);
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Figure 10: absolute group admission control costs on the Phi as a
+// function of the number of threads in the group.
+//
+// "The average time per step grows linearly with the number of threads
+// because we have opted to use simple schemes for coordination ... Only
+// about 8 million cycles (about 6.2 ms) are needed at 255 threads. ...
+// The local admission control cost is constant and independent of the
+// number of threads."
+#include <vector>
+
+#include "common.hpp"
+#include "group/group_admission.hpp"
+
+using namespace hrt;
+
+namespace {
+
+struct StepCost {
+  sim::RunningStats join, elect, admit, barrier, total;
+};
+
+StepCost run_group(std::uint32_t n, std::uint64_t seed) {
+  System::Options o;
+  o.spec = hw::MachineSpec::phi();
+  o.seed = seed;
+  System sys(std::move(o));
+  sys.boot();
+
+  grp::ThreadGroup* group = sys.groups().create("g", n);
+  std::vector<grp::GroupAdmitThenBehavior*> behaviors;
+  for (std::uint32_t r = 0; r < n; ++r) {
+    auto b = std::make_unique<grp::GroupAdmitThenBehavior>(
+        *group,
+        rt::Constraints::periodic(sim::millis(100), sim::millis(10),
+                                  sim::millis(1)),
+        std::make_unique<nk::SequenceBehavior>(std::vector<nk::Action>{
+            nk::Action::exit()}));
+    behaviors.push_back(b.get());
+    sys.spawn("g" + std::to_string(r), std::move(b), 1 + r);
+  }
+
+  // Run until every member's protocol completed.
+  for (int spin = 0; spin < 10000; ++spin) {
+    bool all = true;
+    for (auto* b : behaviors) {
+      if (!b->protocol().done()) all = false;
+    }
+    if (all) break;
+    sys.run_for(sim::millis(1));
+  }
+
+  StepCost out;
+  for (auto* b : behaviors) {
+    const auto& t = b->protocol().timing();
+    if (t.total_done < 0) continue;
+    out.join.add(static_cast<double>(t.join_done - t.start));
+    out.elect.add(static_cast<double>(t.election_done - t.join_done));
+    out.admit.add(static_cast<double>(t.admission_done - t.election_done));
+    out.barrier.add(static_cast<double>(t.total_done - t.admission_done));
+    out.total.add(static_cast<double>(t.total_done - t.join_done));
+  }
+  return out;
+}
+
+/// Figure 10(c)'s flat line: the plain (individual) change-constraints cost.
+double local_change_cost(std::uint64_t seed) {
+  System::Options o;
+  o.spec = hw::MachineSpec::phi_small(4);
+  o.seed = seed;
+  System sys(std::move(o));
+  sys.boot();
+  sim::Nanos t0 = -1;
+  sim::Nanos t1 = -1;
+  auto b = std::make_unique<nk::FnBehavior>(
+      [&t0, &t1](nk::ThreadCtx& ctx, std::uint64_t step) {
+        if (step == 0) {
+          t0 = ctx.wall_now;
+          return nk::Action::change_constraints(
+              rt::Constraints::periodic(sim::millis(50), sim::millis(10),
+                                        sim::millis(1)),
+              [&t1](nk::ThreadCtx& c) { t1 = c.wall_now; });
+        }
+        return nk::Action::exit();
+      });
+  sys.spawn("solo", std::move(b), 1);
+  sys.run_for(sim::millis(20));
+  return t1 > t0 ? static_cast<double>(t1 - t0) : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+  bench::header("Figure 10: group admission control costs on Phi vs #threads",
+                "every step linear in n; ~8e6 cycles total at 255 threads; "
+                "local admission cost flat");
+
+  const auto& spec = hw::MachineSpec::phi();
+  const double local_cyc = bench::to_cycles(
+      spec, static_cast<sim::Nanos>(local_change_cost(args.seed)));
+
+  std::vector<std::uint32_t> sizes = {2, 8, 32, 64, 128, 255};
+  std::printf("\n%8s %14s %14s %14s %14s %16s (avg cycles)\n",
+              "threads", "join", "election", "admission", "barrier+phase",
+              "group total");
+  double total_at_max = 0.0;
+  double total_at_8 = 0.0;
+  for (std::uint32_t n : sizes) {
+    if (!args.full && n > 128) {
+      // quick mode still includes 255: the paper's headline point
+    }
+    StepCost c = run_group(n, args.seed);
+    auto cyc = [&spec](const sim::RunningStats& s) {
+      return bench::to_cycles(spec, static_cast<sim::Nanos>(s.mean()));
+    };
+    std::printf("%8u %14.3g %14.3g %14.3g %14.3g %16.3g\n", n, cyc(c.join),
+                cyc(c.elect), cyc(c.admit), cyc(c.barrier), cyc(c.total));
+    if (n == 255) total_at_max = cyc(c.total);
+    if (n == 8) total_at_8 = cyc(c.total);
+  }
+  std::printf("\nlocal (individual) change constraints: %.3g cycles — flat\n",
+              local_cyc);
+
+  bench::shape_check("group cost grows with n (255 >> 8)",
+                     total_at_max > 5.0 * total_at_8);
+  bench::shape_check("255-thread admission costs millions of cycles "
+                     "(paper: ~8e6)",
+                     total_at_max > 5e5 && total_at_max < 5e7);
+  bench::shape_check("local admission constant and far below the group cost",
+                     local_cyc < 0.25 * total_at_max);
+  return 0;
+}

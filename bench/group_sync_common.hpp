@@ -1,0 +1,104 @@
+// Shared measurement for Figures 11/12: cross-CPU synchronization of the
+// local schedulers' context-switch events for a hard real-time group.
+//
+// "Each time a local scheduler is invoked and context-switches to a thread
+// in the group, it records the time of this event.  A point in the graph
+// represents the maximum difference between the times of these events
+// across the local schedulers."  The measurement here uses ground-truth
+// (oscilloscope-equivalent) time, so it includes the residual TSC error.
+#pragma once
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common.hpp"
+#include "group/group_admission.hpp"
+
+namespace bench {
+
+struct SyncResult {
+  std::size_t invocations = 0;  // aligned switch events compared
+  double avg_diff_cycles = 0.0;
+  double max_diff_cycles = 0.0;
+  // Variation: spread of the per-invocation max-difference around its mean;
+  // this is what phase correction cannot remove.
+  double variation_cycles = 0.0;
+  bool ok = false;
+};
+
+inline SyncResult measure_group_sync(std::uint32_t n, bool phase_correction,
+                                     std::uint64_t seed,
+                                     hrt::sim::Nanos horizon) {
+  using namespace hrt;
+  System::Options o;
+  o.spec = hw::MachineSpec::phi();
+  o.seed = seed;
+  System sys(std::move(o));
+  sys.boot();
+
+  grp::ThreadGroup* group = sys.groups().create("sync", n);
+  std::set<nk::Thread::Id> ids;
+  std::vector<grp::GroupAdmitThenBehavior*> behaviors;
+  const sim::Nanos phase = sim::millis(2) + n * sim::micros(60);
+  for (std::uint32_t r = 0; r < n; ++r) {
+    auto inner = std::make_unique<nk::BusyLoopBehavior>(sim::micros(20));
+    auto b = std::make_unique<grp::GroupAdmitThenBehavior>(
+        *group,
+        rt::Constraints::periodic(phase, sim::micros(100), sim::micros(50)),
+        std::move(inner));
+    b->protocol_mutable().set_phase_correction(phase_correction);
+    behaviors.push_back(b.get());
+    nk::Thread* t =
+        sys.spawn("s" + std::to_string(r), std::move(b), 1 + r);
+    ids.insert(t->id);
+  }
+
+  // Wait for all admissions, then trace the steady state.
+  for (int spin = 0; spin < 1000; ++spin) {
+    bool all = true;
+    for (auto* b : behaviors) {
+      if (!b->protocol().done()) all = false;
+    }
+    if (all) break;
+    sys.run_for(sim::millis(1));
+  }
+  SyncResult res;
+  for (auto* b : behaviors) {
+    if (!b->protocol().succeeded()) return res;  // ok = false
+  }
+  sys.machine().trace().enable();
+  sys.run_for(horizon);
+
+  // Per CPU, ordered switch-to-group-member times (true time).
+  std::vector<std::vector<sim::Nanos>> series(n);
+  for (const auto& r : sys.machine().trace().records()) {
+    if (r.kind != sim::TraceKind::kSwitch) continue;
+    if (ids.count(static_cast<nk::Thread::Id>(r.value)) == 0) continue;
+    if (r.cpu < 1 || r.cpu > n) continue;
+    series[r.cpu - 1].push_back(r.time);
+  }
+  std::size_t len = series[0].size();
+  for (const auto& s : series) len = std::min(len, s.size());
+  if (len < 3) return res;
+
+  const auto& spec = sys.machine().spec();
+  sim::RunningStats diff;
+  for (std::size_t k = 1; k + 1 < len; ++k) {
+    sim::Nanos lo = series[0][k];
+    sim::Nanos hi = series[0][k];
+    for (std::uint32_t c = 1; c < n; ++c) {
+      lo = std::min(lo, series[c][k]);
+      hi = std::max(hi, series[c][k]);
+    }
+    diff.add(bench::to_cycles(spec, hi - lo));
+  }
+  res.invocations = diff.count();
+  res.avg_diff_cycles = diff.mean();
+  res.max_diff_cycles = diff.max();
+  res.variation_cycles = diff.max() - diff.min();
+  res.ok = true;
+  return res;
+}
+
+}  // namespace bench

@@ -1,0 +1,164 @@
+// Micro-benchmarks of the primitives underlying the scheduler's bounded
+// invocation time (section 3.3): fixed-capacity queues, admission-control
+// analyses, the buddy allocator, the event engine, TSC calibration, and
+// cyclic-executive construction.  These are host-time benchmarks
+// (google-benchmark), unlike the figure benches which measure simulated
+// time.
+#include <benchmark/benchmark.h>
+
+#include "nautilus/buddy.hpp"
+#include "rt/admission.hpp"
+#include "rt/cyclic_executive.hpp"
+#include "rt/queues.hpp"
+#include "rt/system.hpp"
+#include "sim/engine.hpp"
+#include "timesync/calibration.hpp"
+
+namespace {
+
+using namespace hrt;
+
+struct IntBefore {
+  bool operator()(int a, int b) const { return a < b; }
+};
+
+void BM_BoundedHeapPushPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rt::BoundedHeap<int, IntBefore> heap(n);
+  std::uint64_t x = 88172645463325252ull;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      benchmark::DoNotOptimize(heap.push(static_cast<int>(x % 100000)));
+    }
+    while (!heap.empty()) benchmark::DoNotOptimize(heap.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BoundedHeapPushPop)->Arg(16)->Arg(256)->Arg(1024);
+
+std::vector<rt::PeriodicTask> make_set(int n) {
+  std::vector<rt::PeriodicTask> set;
+  for (int i = 0; i < n; ++i) {
+    const sim::Nanos period = sim::micros(100) * (i + 1);
+    set.push_back(rt::PeriodicTask{period, period / (2 * n), 0});
+  }
+  return set;
+}
+
+void BM_AdmissionEdf(benchmark::State& state) {
+  auto set = make_set(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt::edf_admissible(set, 0.79));
+  }
+}
+BENCHMARK(BM_AdmissionEdf)->Arg(4)->Arg(32);
+
+void BM_AdmissionRmRta(benchmark::State& state) {
+  auto set = make_set(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt::rm_rta_admissible(set, 0.79));
+  }
+}
+BENCHMARK(BM_AdmissionRmRta)->Arg(4)->Arg(32);
+
+void BM_AdmissionSimulated(benchmark::State& state) {
+  // Harmonic periods keep the hyperperiod small, as a real deployment would.
+  std::vector<rt::PeriodicTask> set = {
+      {sim::micros(100), sim::micros(20), 0},
+      {sim::micros(200), sim::micros(50), 0},
+      {sim::micros(400), sim::micros(100), 0},
+  };
+  rt::SimAdmissionConfig cfg;
+  cfg.per_invocation_overhead = sim::micros(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt::simulate_edf_admission(set, cfg));
+  }
+}
+BENCHMARK(BM_AdmissionSimulated);
+
+void BM_BuddyAllocFree(benchmark::State& state) {
+  for (auto _ : state) {
+    nk::BuddyAllocator buddy(0x1000000, 12, 24);
+    std::vector<std::uint64_t> blocks;
+    for (int i = 0; i < 64; ++i) {
+      auto a = buddy.alloc(4096u << (i % 4));
+      if (a) blocks.push_back(*a);
+    }
+    for (auto a : blocks) buddy.free(a);
+    benchmark::DoNotOptimize(buddy.free_bytes());
+  }
+}
+BENCHMARK(BM_BuddyAllocFree);
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    for (int i = 0; i < 1000; ++i) {
+      eng.schedule_at(i * 10, [] {});
+    }
+    eng.run_all();
+    benchmark::DoNotOptimize(eng.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineScheduleRun);
+
+void BM_TscCalibration256(benchmark::State& state) {
+  for (auto _ : state) {
+    hw::Machine machine(hw::MachineSpec::phi(), 42);
+    auto res = timesync::calibrate(machine);
+    benchmark::DoNotOptimize(res.max_abs_residual());
+  }
+}
+BENCHMARK(BM_TscCalibration256);
+
+void BM_CyclicExecutiveBuild(benchmark::State& state) {
+  std::vector<rt::PeriodicTask> set = {
+      {sim::micros(100), sim::micros(25), 0},
+      {sim::micros(200), sim::micros(40), 0},
+      {sim::micros(400), sim::micros(60), 0},
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt::CyclicExecutiveBuilder::build(set));
+  }
+}
+BENCHMARK(BM_CyclicExecutiveBuild);
+
+void BM_FullSystemBoot256(benchmark::State& state) {
+  for (auto _ : state) {
+    System sys;  // 256-CPU Phi
+    sys.boot();
+    benchmark::DoNotOptimize(sys.kernel().booted());
+  }
+}
+BENCHMARK(BM_FullSystemBoot256);
+
+void BM_SimulatedSchedulerSecond(benchmark::State& state) {
+  // How much host time does one simulated millisecond of a busy periodic
+  // schedule cost?
+  for (auto _ : state) {
+    System::Options o;
+    o.spec = hw::MachineSpec::phi_small(4);
+    System sys(std::move(o));
+    sys.boot();
+    auto b = std::make_unique<nk::FnBehavior>(
+        [](nk::ThreadCtx&, std::uint64_t step) {
+          if (step == 0) {
+            return nk::Action::change_constraints(rt::Constraints::periodic(
+                sim::millis(1), sim::micros(100), sim::micros(50)));
+          }
+          return nk::Action::compute(sim::micros(25));
+        });
+    sys.spawn("p", std::move(b), 1);
+    sys.run_for(sim::millis(20));
+    benchmark::DoNotOptimize(sys.engine().events_executed());
+  }
+}
+BENCHMARK(BM_SimulatedSchedulerSecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Shared sweep for Figures 6-9: deadline miss rate and miss time as a
+// function of period (tau) and slice (% of period), with admission control
+// disabled so infeasible constraints can be observed.
+#pragma once
+
+#include <vector>
+
+#include "common.hpp"
+
+namespace bench {
+
+struct MissPoint {
+  hrt::sim::Nanos period;
+  int slice_pct;
+  double miss_rate;     // [0, 1]
+  double miss_time_us;  // mean lateness of late completions
+  double miss_time_std_us;
+  std::uint64_t arrivals;
+};
+
+inline MissPoint measure_miss(const hrt::hw::MachineSpec& base_spec,
+                              std::uint64_t seed, hrt::sim::Nanos period,
+                              int slice_pct, hrt::sim::Nanos horizon) {
+  using namespace hrt;
+  System::Options o;
+  o.spec = base_spec;
+  o.spec.num_cpus = 4;
+  o.seed = seed;
+  o.sched.admission_enabled = false;  // let infeasible constraints through
+  System sys(std::move(o));
+  sys.boot();
+
+  const sim::Nanos slice = period * slice_pct / 100;
+  auto behavior = std::make_unique<nk::FnBehavior>(
+      [period, slice](nk::ThreadCtx&, std::uint64_t step) {
+        if (step == 0) {
+          return nk::Action::change_constraints(
+              rt::Constraints::periodic(sim::millis(1), period, slice));
+        }
+        // Chunks comfortably larger than the slice so the thread always has
+        // work; the scheduler's budget enforcement does the slicing.
+        return nk::Action::compute(sim::millis(2));
+      });
+  nk::Thread* t = sys.spawn("sweep", std::move(behavior), 1);
+  sys.run_for(horizon);
+
+  MissPoint p{};
+  p.period = period;
+  p.slice_pct = slice_pct;
+  p.arrivals = t->rt.arrivals;
+  p.miss_rate = t->rt.arrivals > 0 ? static_cast<double>(t->rt.misses) /
+                                         static_cast<double>(t->rt.arrivals)
+                                   : 0.0;
+  p.miss_time_us = t->rt.miss_ns.mean() / 1000.0;
+  p.miss_time_std_us = t->rt.miss_ns.stddev() / 1000.0;
+  return p;
+}
+
+inline std::vector<hrt::sim::Nanos> sweep_periods(
+    const hrt::hw::MachineSpec& spec) {
+  using hrt::sim::micros;
+  std::vector<hrt::sim::Nanos> ps = {micros(1000), micros(100), micros(50),
+                                     micros(40), micros(30), micros(20),
+                                     micros(10)};
+  if (spec.name == "r415") ps.push_back(micros(4));
+  return ps;
+}
+
+/// Run the full sweep and print the figure's series (one row per period,
+/// columns = slice %).
+inline std::vector<MissPoint> run_sweep(const hrt::hw::MachineSpec& spec,
+                                        const Args& args, bool print_rate) {
+  using namespace hrt;
+  std::vector<MissPoint> points;
+  const auto periods = sweep_periods(spec);
+  std::printf("\n%-9s", "period");
+  for (int pct = 10; pct <= 90; pct += 10) std::printf(" %8d%%", pct);
+  std::printf("\n");
+  for (sim::Nanos period : periods) {
+    // Horizon: enough arrivals for a stable rate.
+    const std::uint64_t want_arrivals = args.full ? 20000 : 3000;
+    sim::Nanos horizon = static_cast<sim::Nanos>(want_arrivals) * period;
+    if (horizon > sim::seconds(4)) horizon = sim::seconds(4);
+    if (horizon < sim::millis(30)) horizon = sim::millis(30);
+    std::printf("%6lld us", (long long)(period / 1000));
+    for (int pct = 10; pct <= 90; pct += 10) {
+      MissPoint p = measure_miss(spec, args.seed, period, pct, horizon);
+      points.push_back(p);
+      if (print_rate) {
+        std::printf(" %8.1f", p.miss_rate * 100.0);
+      } else {
+        std::printf(" %8.2f", p.miss_time_us);
+      }
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return points;
+}
+
+}  // namespace bench

@@ -1,0 +1,128 @@
+#include "baseline/tick_scheduler.hpp"
+
+#include <algorithm>
+
+#include "nautilus/executor.hpp"
+
+namespace hrt::baseline {
+
+nk::PassResult TickScheduler::pass(nk::PassReason reason, sim::Nanos now) {
+  if (reason == nk::PassReason::kTimer) ++ticks_;
+
+  // Wake sleepers whose time has come.
+  for (auto it = sleepers_.begin(); it != sleepers_.end();) {
+    if ((*it)->wake_time <= now) {
+      (*it)->state = nk::Thread::State::kReady;
+      ready_.push_back(*it);
+      it = sleepers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  nk::Thread* cur = exec_->current();
+  const bool cur_runnable =
+      cur != nullptr && cur->state == nk::Thread::State::kRunning;
+
+  nk::Thread* next = cur_runnable ? cur : nullptr;
+  if (cur_runnable && !cur->is_idle) {
+    ++quantum_used_;
+    if ((quantum_used_ >= cfg_.quantum_ticks ||
+         reason == nk::PassReason::kYield) &&
+        !ready_.empty()) {
+      ready_.push_back(cur);
+      next = nullptr;
+    }
+  }
+  if (next == nullptr || next->is_idle) {
+    if (!ready_.empty()) {
+      next = ready_.front();
+      ready_.pop_front();
+      quantum_used_ = 0;
+    } else if (next == nullptr) {
+      next = kernel_.idle_thread(cpu_);
+    }
+  }
+
+  nk::PassResult res;
+  res.next = next;
+  // All queued tasks run inline; this scheduler has no RT thread to protect.
+  while (!tasks_.empty()) {
+    res.task_ns += std::max<sim::Nanos>(tasks_.front().size, 0);
+    res.task_callbacks.push_back(std::move(tasks_.front().fn));
+    tasks_.pop_front();
+  }
+  const auto& cost = kernel_.machine().spec().cost;
+  res.pass_cycles =
+      cost.sched_pass_base +
+      cost.sched_pass_per_thread * static_cast<sim::Cycles>(thread_count());
+  return res;
+}
+
+void TickScheduler::arm_timer(sim::Nanos /*now*/) {
+  // Conventional periodic tick: always re-arm at the fixed rate, whether or
+  // not anything is runnable.  This is precisely the noise source tickless
+  // designs remove.
+  kernel_.machine().cpu(cpu_).apic().arm_oneshot(cfg_.tick);
+}
+
+bool TickScheduler::change_constraints(nk::Thread& t, const rt::Constraints& c,
+                                       sim::Nanos /*gamma*/) {
+  // No real-time support: aperiodic requests succeed (priority is kept),
+  // real-time requests are refused.
+  if (c.cls != rt::ConstraintClass::kAperiodic) return false;
+  t.constraints = c;
+  return true;
+}
+
+void TickScheduler::enqueue(nk::Thread* t) {
+  t->state = nk::Thread::State::kReady;
+  ready_.push_back(t);
+}
+
+void TickScheduler::on_sleep(nk::Thread& t, sim::Nanos wake_local) {
+  t.wake_time = wake_local;
+  sleepers_.push_back(&t);
+}
+
+bool TickScheduler::try_wake(nk::Thread& t) {
+  for (auto it = sleepers_.begin(); it != sleepers_.end(); ++it) {
+    if (*it == &t) {
+      sleepers_.erase(it);
+      t.state = nk::Thread::State::kReady;
+      ready_.push_back(&t);
+      return true;
+    }
+  }
+  return false;
+}
+
+void TickScheduler::submit_task(nk::Task task) {
+  tasks_.push_back(std::move(task));
+}
+
+std::size_t TickScheduler::stealable_count() const {
+  std::size_t n = 0;
+  for (const nk::Thread* t : ready_) {
+    if (!t->bound && !t->is_idle) ++n;
+  }
+  return n;
+}
+
+nk::Thread* TickScheduler::try_steal() {
+  for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+    if (!(*it)->bound && !(*it)->is_idle) {
+      nk::Thread* t = *it;
+      ready_.erase(it);
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+std::size_t TickScheduler::thread_count() const {
+  return ready_.size() + sleepers_.size() +
+         (exec_ != nullptr && exec_->current() != nullptr ? 1 : 0);
+}
+
+}  // namespace hrt::baseline

@@ -1,0 +1,194 @@
+#include "bsp/bsp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hrt::bsp {
+
+namespace {
+
+/// Shared run state: per-thread progress, skew tracking, completion.
+struct BspRun {
+  BspConfig cfg;
+  BspWork work;
+  std::vector<std::uint64_t> iteration;  // per-rank current iteration
+  std::vector<sim::Nanos> first_start;   // true time of first dispatch
+  std::vector<sim::Nanos> finish;        // true time of completion
+  std::uint32_t done_count = 0;
+  std::uint64_t max_write_skew = 0;
+  std::unique_ptr<grp::ReusableBarrier> barrier;
+
+  BspRun(const BspConfig& c, BspWork w)
+      : cfg(c),
+        work(w),
+        iteration(c.P, 0),
+        first_start(c.P, -1),
+        finish(c.P, -1) {}
+};
+
+/// One BSP worker (rank r of P).  Per iteration: local compute, the
+/// remote-write batch toward rank (r+1) % P, then the optional barrier.
+class BspWorker final : public nk::Behavior {
+ public:
+  BspWorker(BspRun& run, std::uint32_t rank) : run_(run), rank_(rank) {}
+
+  nk::Action next(nk::ThreadCtx& ctx) override {
+    if (run_.first_start[rank_] < 0) {
+      run_.first_start[rank_] = ctx.kernel.machine().engine().now();
+    }
+    for (;;) {
+      switch (step_) {
+        case Step::kCompute: {
+          if (iter_ >= run_.cfg.N) {
+            step_ = Step::kFinish;
+            continue;
+          }
+          step_ = Step::kWrite;
+          return nk::Action::compute(run_.work.compute_ns);
+        }
+        case Step::kWrite: {
+          step_ = run_.cfg.barrier ? Step::kBarrierArrive : Step::kEndIter;
+          if (run_.cfg.NW == 0) continue;
+          return nk::Action::compute(
+              run_.work.write_ns, [this](nk::ThreadCtx&) {
+                // Ring-pattern write: note the target's iteration to
+                // measure BSP skew.  With a barrier (or a correct lockstep
+                // schedule) the writer is at most one iteration away from
+                // its target.
+                const std::uint32_t target = (rank_ + 1) % run_.cfg.P;
+                const std::uint64_t mine = iter_;
+                const std::uint64_t theirs = run_.iteration[target];
+                const std::uint64_t skew =
+                    mine > theirs ? mine - theirs : theirs - mine;
+                run_.max_write_skew = std::max(run_.max_write_skew, skew);
+              });
+        }
+        case Step::kBarrierArrive:
+          step_ = Step::kBarrierWait;
+          return run_.barrier->arrive_action(&ticket_);
+        case Step::kBarrierWait:
+          step_ = Step::kEndIter;
+          return run_.barrier->wait_action(&ticket_);
+        case Step::kEndIter:
+          ++iter_;
+          run_.iteration[rank_] = iter_;
+          step_ = Step::kCompute;
+          continue;
+        case Step::kFinish:
+          step_ = Step::kDone;
+          return nk::Action::compute(0, [this](nk::ThreadCtx& c) {
+            run_.finish[rank_] = c.kernel.machine().engine().now();
+            ++run_.done_count;
+          });
+        case Step::kDone:
+          return nk::Action::exit();
+      }
+    }
+  }
+
+  [[nodiscard]] std::string describe() const override { return "bsp"; }
+
+ private:
+  enum class Step : std::uint8_t {
+    kCompute,
+    kWrite,
+    kBarrierArrive,
+    kBarrierWait,
+    kEndIter,
+    kFinish,
+    kDone,
+  };
+
+  BspRun& run_;
+  std::uint32_t rank_;
+  std::uint64_t iter_ = 0;
+  Step step_ = Step::kCompute;
+  grp::ReusableBarrier::Ticket ticket_;
+};
+
+}  // namespace
+
+BspWork derive_work(const hw::MachineSpec& spec, const BspConfig& cfg) {
+  BspWork w{};
+  const sim::Cycles compute_cycles = static_cast<sim::Cycles>(cfg.NE) *
+                                     static_cast<sim::Cycles>(cfg.NC) *
+                                     cfg.op_cycles;
+  w.compute_ns = spec.freq.cycles_to_ns_ceil(compute_cycles);
+  w.write_ns = spec.freq.cycles_to_ns_ceil(
+      static_cast<sim::Cycles>(cfg.NW) * spec.cost.cacheline_transfer);
+  return w;
+}
+
+BspResult run_bsp(System& sys, const BspConfig& cfg) {
+  if (!sys.kernel().booted()) {
+    throw std::logic_error("run_bsp: system not booted");
+  }
+  if (cfg.first_cpu + cfg.P > sys.machine().num_cpus()) {
+    throw std::invalid_argument("run_bsp: not enough CPUs");
+  }
+
+  auto run =
+      std::make_unique<BspRun>(cfg, derive_work(sys.machine().spec(), cfg));
+  run->barrier = std::make_unique<grp::ReusableBarrier>(sys.kernel(), cfg.P);
+
+  grp::ThreadGroup* group = nullptr;
+  std::vector<const grp::GroupChangeConstraints*> protocols;
+  if (cfg.mode == Mode::kGroupRt) {
+    group = sys.groups().create("bsp-" + std::to_string(sys.engine().now()),
+                                cfg.P);
+    if (group == nullptr) {
+      throw std::logic_error("run_bsp: group name collision");
+    }
+  }
+
+  for (std::uint32_t r = 0; r < cfg.P; ++r) {
+    auto worker = std::make_unique<BspWorker>(*run, r);
+    std::unique_ptr<nk::Behavior> behavior;
+    if (cfg.mode == Mode::kGroupRt) {
+      auto wrapped = std::make_unique<grp::GroupAdmitThenBehavior>(
+          *group, rt::Constraints::periodic(cfg.phase, cfg.period, cfg.slice),
+          std::move(worker));
+      protocols.push_back(&wrapped->protocol());
+      behavior = std::move(wrapped);
+    } else {
+      behavior = std::move(worker);
+    }
+    sys.spawn("bsp" + std::to_string(r), std::move(behavior),
+              cfg.first_cpu + r);
+  }
+
+  // Drive the simulation until every worker finished or the cap is hit.
+  const sim::Nanos t0 = sys.engine().now();
+  const sim::Nanos cap = t0 + cfg.timeout;
+  while (run->done_count < cfg.P && sys.engine().now() < cap) {
+    sys.engine().run_until(std::min(cap, sys.engine().now() + sim::millis(5)));
+  }
+
+  BspResult res;
+  res.all_done = run->done_count == cfg.P;
+  for (const auto* p : protocols) {
+    if (!p->done() || !p->succeeded()) res.admission_ok = false;
+  }
+  sim::Nanos start = -1;
+  sim::Nanos finish = -1;
+  for (std::uint32_t r = 0; r < cfg.P; ++r) {
+    if (run->first_start[r] >= 0) {
+      start = start < 0 ? run->first_start[r]
+                        : std::min(start, run->first_start[r]);
+    }
+    finish = std::max(finish, run->finish[r]);
+  }
+  res.start = start < 0 ? t0 : start;
+  res.finish = finish < 0 ? sys.engine().now() : finish;
+  res.makespan = res.finish - res.start;
+  res.max_write_skew = run->max_write_skew;
+  res.barrier_rounds = run->barrier->rounds_completed();
+  if (res.makespan > 0) {
+    res.avg_iterations_per_second = static_cast<double>(cfg.N) *
+                                    sim::kNanosPerSecond /
+                                    static_cast<double>(res.makespan);
+  }
+  return res;
+}
+
+}  // namespace hrt::bsp

@@ -1,0 +1,79 @@
+// The fine-grain BSP microbenchmark of section 6.1.
+//
+// "The benchmark emulates iterative computation on a discrete domain,
+// modeled as a vector of doubles.  [It] is parameterized by P, the number of
+// CPUs used (each CPU runs a single thread), NE, the number of elements of
+// the domain local to a given CPU, NC, the number of computations done on
+// each element per iteration, NW, the number of remote writes to other
+// CPUs' elements per iteration, and N, the number of iterations.  Remote
+// writes are done according to a ring pattern: CPU i writes to some of the
+// elements owned by CPU (i+1) % P."
+//
+// Each iteration: compute NE*NC element operations, perform NW remote
+// writes, then the optional barrier.  Skipping the barrier is only correct
+// when something else keeps the threads in lockstep — which is exactly what
+// the hard real-time group schedule provides (section 6.4).  The harness
+// tracks the iteration skew each remote write observes at its target, so
+// barrier-free runs are checked, not assumed, to stay coherent.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "group/group_admission.hpp"
+#include "group/reusable_barrier.hpp"
+#include "rt/system.hpp"
+
+namespace hrt::bsp {
+
+enum class Mode : std::uint8_t {
+  kAperiodic,  // non-real-time scheduling (the paper's baseline)
+  kGroupRt,    // hard real-time group with a common periodic constraint
+};
+
+struct BspConfig {
+  std::uint32_t P = 8;       // threads (one per CPU, starting at first_cpu)
+  std::uint64_t NE = 1024;   // elements per CPU
+  std::uint64_t NC = 8;      // computations per element per iteration
+  std::uint64_t NW = 8;      // remote writes per iteration (ring pattern)
+  std::uint64_t N = 100;     // iterations
+  bool barrier = true;
+  sim::Cycles op_cycles = 6;  // cost of one element computation
+
+  Mode mode = Mode::kAperiodic;
+  sim::Nanos period = sim::micros(1000);  // tau   (kGroupRt)
+  sim::Nanos slice = sim::micros(900);    // sigma (kGroupRt)
+  sim::Nanos phase = sim::millis(2);      // phi: must exceed admission time
+
+  std::uint32_t first_cpu = 1;  // keep CPU 0 for the interrupt-laden side
+  sim::Nanos timeout = sim::seconds(30);  // simulated-time cap
+};
+
+struct BspResult {
+  bool all_done = false;
+  bool admission_ok = true;
+  sim::Nanos start = 0;      // earliest first-iteration start (true time)
+  sim::Nanos finish = 0;     // latest thread finish (true time)
+  sim::Nanos makespan = 0;   // finish - start
+  std::uint64_t max_write_skew = 0;  // max |writer iter - target iter|
+  std::uint64_t barrier_rounds = 0;
+  double avg_iterations_per_second = 0.0;
+};
+
+/// Per-iteration work derived from a config on a given machine.
+struct BspWork {
+  sim::Nanos compute_ns;
+  sim::Nanos write_ns;
+  [[nodiscard]] sim::Nanos per_iteration() const {
+    return compute_ns + write_ns;
+  }
+};
+[[nodiscard]] BspWork derive_work(const hw::MachineSpec& spec,
+                                  const BspConfig& cfg);
+
+/// Build the threads, run the benchmark on `sys` (which must be booted),
+/// and collect results.  Uses CPUs [first_cpu, first_cpu + P).
+[[nodiscard]] BspResult run_bsp(System& sys, const BspConfig& cfg);
+
+}  // namespace hrt::bsp

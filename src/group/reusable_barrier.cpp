@@ -1,0 +1,34 @@
+#include "group/reusable_barrier.hpp"
+
+namespace hrt::grp {
+
+ReusableBarrier::ReusableBarrier(nk::Kernel& kernel, std::uint32_t expected)
+    : kernel_(kernel), expected_(expected) {
+  const auto& spec = kernel_.machine().spec();
+  atomic_ns_ = spec.freq.cycles_to_ns_ceil(spec.cost.atomic_rmw +
+                                           spec.cost.cacheline_transfer);
+}
+
+nk::WaitFlag& ReusableBarrier::flag_for(std::uint32_t gen) {
+  while (flags_.size() <= gen) {
+    flags_.push_back(std::make_unique<nk::WaitFlag>(kernel_));
+  }
+  return *flags_[gen];
+}
+
+nk::Action ReusableBarrier::arrive_action(Ticket* ticket) {
+  return nk::Action::atomic(&line_, atomic_ns_, [this, ticket](nk::ThreadCtx&) {
+    ticket->generation = generation_;
+    if (++arrivals_ == expected_) {
+      arrivals_ = 0;
+      const std::uint32_t gen = generation_++;
+      flag_for(gen).set();
+    }
+  });
+}
+
+nk::Action ReusableBarrier::wait_action(const Ticket* ticket) {
+  return nk::Action::spin_until(&flag_for(ticket->generation));
+}
+
+}  // namespace hrt::grp

@@ -1,0 +1,50 @@
+// Reusable (generation-counting) spin barrier for iterative workloads.
+//
+// GroupBarrier (group.hpp) is single-use, matching the distinct barriers of
+// the admission protocol.  BSP iterations need the same barrier object every
+// round; this one tracks a generation per round, with a fresh WaitFlag per
+// generation and the same serialized-arrival cost model ("optional_barrier"
+// of section 6.1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nautilus/action.hpp"
+#include "nautilus/kernel.hpp"
+#include "nautilus/sync.hpp"
+
+namespace hrt::grp {
+
+class ReusableBarrier {
+ public:
+  ReusableBarrier(nk::Kernel& kernel, std::uint32_t expected);
+
+  /// A participant's per-round handle: arrive fills in the generation the
+  /// thread must then wait on.
+  struct Ticket {
+    std::uint32_t generation = 0;
+  };
+
+  /// Step 1: serialized arrival; the last arrival of the round releases it.
+  [[nodiscard]] nk::Action arrive_action(Ticket* ticket);
+  /// Step 2: spin until the ticket's generation is released.
+  [[nodiscard]] nk::Action wait_action(const Ticket* ticket);
+
+  [[nodiscard]] std::uint32_t generation() const { return generation_; }
+  [[nodiscard]] std::uint64_t rounds_completed() const { return generation_; }
+
+ private:
+  nk::WaitFlag& flag_for(std::uint32_t gen);
+
+  nk::Kernel& kernel_;
+  std::uint32_t expected_;
+  std::uint32_t arrivals_ = 0;
+  std::uint32_t generation_ = 0;
+  nk::SeqResource line_;
+  sim::Nanos atomic_ns_;
+  std::vector<std::unique_ptr<nk::WaitFlag>> flags_;
+};
+
+}  // namespace hrt::grp

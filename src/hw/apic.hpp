@@ -1,0 +1,110 @@
+// Per-CPU advanced programmable interrupt controller (APIC) model:
+// the one-shot timer the local scheduler re-arms on every pass ("tickless"),
+// plus IPI transmission.
+//
+// Timer programming follows section 3.3: the requested nanosecond countdown
+// is converted to APIC ticks conservatively, so resolution mismatch causes
+// an *earlier* firing, never a later one.  With TSC-deadline mode enabled the
+// conversion is to cycles instead, eliminating most of the quantization.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "hw/interrupts.hpp"
+#include "hw/machine_spec.hpp"
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace hrt::hw {
+
+class Cpu;  // fwd; apic raises vectors on its own cpu
+
+class Apic {
+ public:
+  Apic(sim::Engine& engine, const TimerSpec& spec, sim::Frequency freq,
+       std::function<void(Vector)> raise)
+      : engine_(engine), spec_(spec), freq_(freq), raise_(std::move(raise)) {}
+
+  Apic(const Apic&) = delete;
+  Apic& operator=(const Apic&) = delete;
+
+  /// Arm the one-shot timer to fire `delay_ns` from now (local-clock
+  /// relative, which equals true-clock relative since TSC rates are
+  /// constant).  Any previously armed timer is replaced.  The actual firing
+  /// delay is the requested delay quantized *down* to the timer's
+  /// granularity (minimum one tick).
+  void arm_oneshot(sim::Nanos delay_ns) {
+    cancel();
+    armed_delay_ = quantize(delay_ns);
+    if (delay_ns > armed_delay_) {
+      earliness_.add(static_cast<double>(delay_ns - armed_delay_));
+    } else {
+      earliness_.add(0.0);
+    }
+    fire_at_ = engine_.now() + armed_delay_;
+    timer_event_ = engine_.schedule_at(
+        fire_at_,
+        [this] {
+          timer_event_.reset();
+          ++fires_;
+          raise_(kTimerVector);
+        },
+        sim::EventBand::kHardware);
+  }
+
+  void cancel() {
+    engine_.cancel(timer_event_);
+    timer_event_.reset();
+  }
+
+  [[nodiscard]] bool armed() const { return timer_event_.valid(); }
+  [[nodiscard]] sim::Nanos pending_fire_time() const { return fire_at_; }
+  [[nodiscard]] sim::Nanos armed_delay() const { return armed_delay_; }
+  [[nodiscard]] std::uint64_t fires() const { return fires_; }
+
+  /// Distribution of how much earlier than requested each armed countdown
+  /// will fire (the quantization loss; near zero in TSC-deadline mode).
+  [[nodiscard]] const sim::RunningStats& earliness() const {
+    return earliness_;
+  }
+
+  /// The worst-case earliness the quantization can introduce.
+  [[nodiscard]] sim::Nanos max_earliness() const {
+    if (spec_.tsc_deadline) {
+      return freq_.cycles_to_ns_ceil(1);
+    }
+    return spec_.apic_tick_ns;
+  }
+
+ private:
+  [[nodiscard]] sim::Nanos quantize(sim::Nanos delay_ns) const {
+    if (delay_ns < 0) delay_ns = 0;
+    if (spec_.tsc_deadline) {
+      // Cycle-granular deadline; still conservative.
+      sim::Cycles c = freq_.ns_to_cycles_floor(delay_ns);
+      if (c < 1) c = 1;
+      // Convert back rounding down so we never fire late.
+      const __int128 num = static_cast<__int128>(c) * sim::kNanosPerSecond;
+      sim::Nanos ns = static_cast<sim::Nanos>(num / freq_.hz());
+      return ns < 1 ? 1 : ns;
+    }
+    const sim::Nanos tick = spec_.apic_tick_ns;
+    sim::Nanos ticks = delay_ns / tick;
+    if (ticks < 1) ticks = 1;
+    return ticks * tick;
+  }
+
+  sim::Engine& engine_;
+  TimerSpec spec_;
+  sim::Frequency freq_;
+  std::function<void(Vector)> raise_;
+  sim::EventId timer_event_;
+  sim::Nanos fire_at_ = 0;
+  sim::Nanos armed_delay_ = 0;
+  std::uint64_t fires_ = 0;
+  sim::RunningStats earliness_;
+};
+
+}  // namespace hrt::hw

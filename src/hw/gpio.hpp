@@ -1,0 +1,51 @@
+// Parallel-port GPIO interface (section 5.2).
+//
+// The paper adds a parallel port to the machine; a single outb changes all
+// 8 output pins, which an oscilloscope monitors.  Here an outb records pin
+// transitions into the machine trace; sim::ScopeAnalyzer recovers the scope
+// view (pulse widths, duty cycle, fuzz).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/trace.hpp"
+
+namespace hrt::hw {
+
+class Gpio {
+ public:
+  explicit Gpio(sim::Trace& trace) : trace_(trace) {}
+
+  /// Write the 8-pin output latch.  Each pin that changes level produces a
+  /// kPin trace record whose value encodes (pin << 1) | new_level.
+  void outb(sim::Nanos now, std::uint32_t cpu, std::uint8_t value) {
+    const std::uint8_t changed = static_cast<std::uint8_t>(latch_ ^ value);
+    for (int pin = 0; pin < 8; ++pin) {
+      if ((changed >> pin) & 1) {
+        const std::int64_t level = (value >> pin) & 1;
+        trace_.record(now, cpu, sim::TraceKind::kPin,
+                      (static_cast<std::int64_t>(pin) << 1) | level);
+      }
+    }
+    latch_ = value;
+  }
+
+  /// Set or clear a single pin, preserving the rest of the latch.
+  void set_pin(sim::Nanos now, std::uint32_t cpu, int pin, bool level) {
+    std::uint8_t v = latch_;
+    if (level) {
+      v = static_cast<std::uint8_t>(v | (1u << pin));
+    } else {
+      v = static_cast<std::uint8_t>(v & ~(1u << pin));
+    }
+    outb(now, cpu, v);
+  }
+
+  [[nodiscard]] std::uint8_t latch() const { return latch_; }
+
+ private:
+  sim::Trace& trace_;
+  std::uint8_t latch_ = 0;
+};
+
+}  // namespace hrt::hw

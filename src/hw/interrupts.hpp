@@ -1,0 +1,31 @@
+// Interrupt vector layout.
+//
+// As on x64, a vector's priority class is its high nibble; the APIC task
+// priority register (TPR) blocks delivery of any vector whose class is not
+// above the programmed threshold.  The scheduler uses this to steer device
+// interrupts away from hard real-time threads (section 3.5): while an RT
+// thread runs, TPR is raised so only the scheduling-related vectors (timer
+// and kick IPI) get through.
+#pragma once
+
+#include <cstdint>
+
+namespace hrt::hw {
+
+using Vector = std::uint8_t;
+
+inline constexpr Vector kTimerVector = 0xF0;  // APIC one-shot timer
+inline constexpr Vector kKickVector = 0xF1;   // cross-scheduler kick IPI
+inline constexpr Vector kFirstDeviceVector = 0x30;
+inline constexpr Vector kLastDeviceVector = 0x7F;
+
+[[nodiscard]] constexpr std::uint8_t priority_class(Vector v) {
+  return static_cast<std::uint8_t>(v >> 4);
+}
+
+/// TPR value that admits only scheduling vectors (class 0xF).
+inline constexpr std::uint8_t kTprRealTime = 0xE;
+/// TPR value that admits everything.
+inline constexpr std::uint8_t kTprOpen = 0x0;
+
+}  // namespace hrt::hw

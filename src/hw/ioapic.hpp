@@ -1,0 +1,39 @@
+// I/O APIC: routes external (device) interrupts to CPUs.
+//
+// "An external interrupt, from an I/O device, for example, can be steered to
+// any CPU in the system" (section 3.5).  The kernel programs the routing
+// table to implement the interrupt-laden / interrupt-free partition.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "hw/interrupts.hpp"
+
+namespace hrt::hw {
+
+class IoApic {
+ public:
+  /// `raise(cpu, vector)` delivers to the machine's CPU array.
+  explicit IoApic(std::function<void(std::uint32_t, Vector)> raise)
+      : raise_(std::move(raise)) {
+    routes_.fill(0);
+  }
+
+  /// Steer `vector` to `cpu`.
+  void route(Vector vector, std::uint32_t cpu) { routes_[vector] = cpu; }
+
+  [[nodiscard]] std::uint32_t destination(Vector vector) const {
+    return routes_[vector];
+  }
+
+  /// A device asserts its interrupt line.
+  void assert_irq(Vector vector) { raise_(routes_[vector], vector); }
+
+ private:
+  std::function<void(std::uint32_t, Vector)> raise_;
+  std::array<std::uint32_t, 256> routes_{};
+};
+
+}  // namespace hrt::hw

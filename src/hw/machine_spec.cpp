@@ -1,0 +1,101 @@
+#include "hw/machine_spec.hpp"
+
+namespace hrt::hw {
+
+MachineSpec MachineSpec::phi() {
+  MachineSpec s{
+      .name = "phi",
+      .num_cpus = 256,
+      .freq = sim::Frequency(1'300'000'000),
+      .cost =
+          CostModel{
+              .irq_dispatch = 1500,
+              .sched_pass_base = 2300,
+              .sched_pass_per_thread = 10,
+              .context_switch = 1100,
+              .sched_other = 600,
+              .admission_control = 80'000,
+              .atomic_rmw = 120,
+              .cacheline_transfer = 300,
+              .spin_notice = 220,
+              .thread_create = 40'000,
+              .group_scan_per_member = 300,
+              .jitter_rel_std = 0.08,
+          },
+      .timer =
+          TimerSpec{
+              .apic_tick_ns = 20,
+              .tsc_deadline = false,
+              .ipi_latency_ns = 400,
+          },
+      .smi =
+          SmiSpec{
+              .enabled = true,
+              .mean_interval_ns = sim::millis(50),
+              .min_duration_ns = sim::micros(4),
+              .mean_duration_ns = sim::micros(10),
+              .max_duration_ns = sim::micros(30),
+          },
+      .skew =
+          SkewSpec{
+              .boot_skew_max_ns = sim::micros(200),
+              .calib_error_std = 300,
+              .calib_error_max = 1000,
+              .tsc_writable = true,
+          },
+  };
+  return s;
+}
+
+MachineSpec MachineSpec::r415() {
+  MachineSpec s{
+      .name = "r415",
+      .num_cpus = 8,
+      .freq = sim::Frequency(2'200'000'000),
+      .cost =
+          CostModel{
+              .irq_dispatch = 650,
+              .sched_pass_base = 1050,
+              .sched_pass_per_thread = 6,
+              .context_switch = 520,
+              .sched_other = 300,
+              .admission_control = 30'000,
+              .atomic_rmw = 60,
+              .cacheline_transfer = 140,
+              .spin_notice = 110,
+              .thread_create = 18'000,
+              .group_scan_per_member = 120,
+              .jitter_rel_std = 0.08,
+          },
+      .timer =
+          TimerSpec{
+              .apic_tick_ns = 12,
+              .tsc_deadline = false,
+              .ipi_latency_ns = 300,
+          },
+      .smi =
+          SmiSpec{
+              .enabled = true,
+              .mean_interval_ns = sim::millis(40),
+              .min_duration_ns = sim::micros(3),
+              .mean_duration_ns = sim::micros(8),
+              .max_duration_ns = sim::micros(25),
+          },
+      .skew =
+          SkewSpec{
+              .boot_skew_max_ns = sim::micros(120),
+              .calib_error_std = 150,
+              .calib_error_max = 600,
+              .tsc_writable = true,
+          },
+  };
+  return s;
+}
+
+MachineSpec MachineSpec::phi_small(std::uint32_t cpus) {
+  MachineSpec s = phi();
+  s.num_cpus = cpus;
+  return s;
+}
+
+}  // namespace hrt::hw

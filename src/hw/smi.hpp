@@ -1,0 +1,81 @@
+// System management interrupt source ("missing time", section 3.6).
+//
+// When the firmware asserts an SMI, *all* CPUs stop, one executes the
+// curtained handler, and everything resumes afterward.  Software — including
+// the kernel under test — cannot mask, observe, or bound this except
+// empirically.  The source therefore lives entirely in the hardware layer:
+// it calls a machine-level freeze/unfreeze pair and keeps ground-truth
+// statistics the benchmarks may report but the scheduler may not read.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "hw/machine_spec.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace hrt::hw {
+
+class SmiSource {
+ public:
+  /// `freeze_all(duration)` must stop every CPU for `duration` starting now.
+  SmiSource(sim::Engine& engine, const SmiSpec& spec, sim::Rng rng,
+            std::function<void(sim::Nanos)> freeze_all)
+      : engine_(engine),
+        spec_(spec),
+        rng_(rng),
+        freeze_all_(std::move(freeze_all)) {}
+
+  /// Begin generating SMIs (no-op when disabled in the spec).
+  void start() {
+    if (spec_.enabled && !started_) {
+      started_ = true;
+      schedule_next();
+    }
+  }
+
+  /// Inject one SMI of exactly `duration` right now (failure injection for
+  /// tests and the eager-vs-lazy ablation).
+  void force(sim::Nanos duration) { fire(duration); }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] sim::Nanos total_stolen() const { return total_stolen_; }
+
+ private:
+  void schedule_next() {
+    const auto gap = static_cast<sim::Nanos>(
+        rng_.exponential(static_cast<double>(spec_.mean_interval_ns)));
+    engine_.schedule_after(
+        gap < 1 ? 1 : gap,
+        [this] {
+          fire(draw_duration());
+          schedule_next();
+        },
+        sim::EventBand::kSmi);
+  }
+
+  [[nodiscard]] sim::Nanos draw_duration() {
+    const double tail = rng_.exponential(static_cast<double>(
+        spec_.mean_duration_ns - spec_.min_duration_ns));
+    auto d = spec_.min_duration_ns + static_cast<sim::Nanos>(tail);
+    if (d > spec_.max_duration_ns) d = spec_.max_duration_ns;
+    return d;
+  }
+
+  void fire(sim::Nanos duration) {
+    ++count_;
+    total_stolen_ += duration;
+    freeze_all_(duration);
+  }
+
+  sim::Engine& engine_;
+  SmiSpec spec_;
+  sim::Rng rng_;
+  std::function<void(sim::Nanos)> freeze_all_;
+  bool started_ = false;
+  std::uint64_t count_ = 0;
+  sim::Nanos total_stolen_ = 0;
+};
+
+}  // namespace hrt::hw

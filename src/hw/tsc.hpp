@@ -1,0 +1,53 @@
+// Per-CPU time stamp counter.
+//
+// The TSC is "constant rate" (a requirement the paper states in section 3.3):
+// it never stops, including across SMIs, which is exactly why SMIs appear to
+// software as missing time.  Each CPU's counter carries a boot-time offset
+// relative to true time; the timesync module estimates and (on machines that
+// allow it) writes the counter to cancel that offset.
+#pragma once
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace hrt::hw {
+
+class Tsc {
+ public:
+  Tsc(sim::Engine& engine, sim::Frequency freq, sim::Nanos offset_ns)
+      : engine_(engine), freq_(freq), offset_ns_(offset_ns) {}
+
+  /// RDTSC: the counter value this CPU observes right now.
+  [[nodiscard]] sim::Cycles read() const {
+    return freq_.ns_to_cycles(engine_.now() + offset_ns_);
+  }
+
+  /// This CPU's wall-clock estimate in nanoseconds (cycle counter converted
+  /// at the calibrated frequency).  After calibration this differs from true
+  /// time only by the residual offset error.
+  [[nodiscard]] sim::Nanos wall_ns() const { return engine_.now() + offset_ns_; }
+
+  /// WRMSR to the TSC: set the counter to `value` as of now.
+  void write(sim::Cycles value) {
+    offset_ns_ = freq_.cycles_to_ns(value) - engine_.now();
+  }
+
+  /// Shift the counter by a signed cycle delta (the calibration write-back).
+  void adjust_cycles(sim::Cycles delta) {
+    offset_ns_ += freq_.cycles_to_ns(delta);
+  }
+
+  /// Offset of this counter's time domain vs. true simulation time.  This is
+  /// ground truth the software under test must *not* read; it exists for
+  /// test assertions and for generating Figure 3.
+  [[nodiscard]] sim::Nanos true_offset_ns() const { return offset_ns_; }
+
+  [[nodiscard]] sim::Frequency freq() const { return freq_; }
+
+ private:
+  sim::Engine& engine_;
+  sim::Frequency freq_;
+  sim::Nanos offset_ns_;
+};
+
+}  // namespace hrt::hw

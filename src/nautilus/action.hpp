@@ -1,0 +1,125 @@
+// The vocabulary of things a simulated thread can do.
+//
+// Real Nautilus threads run arbitrary C; in the simulated machine a thread's
+// code is a Behavior (behavior.hpp) that emits Actions, and the per-CPU
+// executor charges simulated time for each one.  The vocabulary is small but
+// sufficient to express the paper's workloads: bounded computation, remote
+// memory traffic, spin-based synchronization, serialized atomics, sleeping,
+// and the scheduler entry points a thread can invoke (yield, exit,
+// constraint changes, section 3.3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "rt/constraints.hpp"
+#include "sim/time.hpp"
+
+namespace hrt::nk {
+
+class WaitFlag;
+struct SeqResource;
+struct ThreadCtx;
+
+struct Action {
+  enum class Kind : std::uint8_t {
+    kCompute,            // consume `duration` of CPU time (preemptable)
+    kSpinUntil,          // busy-wait on a WaitFlag (preemptable, burns CPU)
+    kAtomic,             // serialized op on a SeqResource (non-preemptable)
+    kSleep,              // block for `duration`
+    kYield,              // invoke the local scheduler, stay runnable
+    kExit,               // terminate the thread
+    kChangeConstraints,  // request admission with new constraints
+    kHalt,               // idle thread only: halt CPU until next interrupt
+  };
+
+  Kind kind = Kind::kExit;
+  sim::Nanos duration = 0;           // compute work / sleep time / atomic hold
+  WaitFlag* flag = nullptr;          // kSpinUntil
+  SeqResource* resource = nullptr;   // kAtomic (null = uncontended)
+  rt::Constraints constraints{};     // kChangeConstraints
+  std::function<void(ThreadCtx&)> on_complete;  // side effect at completion
+
+  [[nodiscard]] static Action compute(
+      sim::Nanos work, std::function<void(ThreadCtx&)> fx = nullptr) {
+    Action a;
+    a.kind = Kind::kCompute;
+    a.duration = work;
+    a.on_complete = std::move(fx);
+    return a;
+  }
+
+  [[nodiscard]] static Action spin_until(
+      WaitFlag* f, std::function<void(ThreadCtx&)> fx = nullptr) {
+    Action a;
+    a.kind = Kind::kSpinUntil;
+    a.flag = f;
+    a.on_complete = std::move(fx);
+    return a;
+  }
+
+  [[nodiscard]] static Action atomic(
+      SeqResource* r, sim::Nanos cost,
+      std::function<void(ThreadCtx&)> fx = nullptr) {
+    Action a;
+    a.kind = Kind::kAtomic;
+    a.resource = r;
+    a.duration = cost;
+    a.on_complete = std::move(fx);
+    return a;
+  }
+
+  [[nodiscard]] static Action sleep(sim::Nanos d) {
+    Action a;
+    a.kind = Kind::kSleep;
+    a.duration = d;
+    return a;
+  }
+
+  [[nodiscard]] static Action yield() {
+    Action a;
+    a.kind = Kind::kYield;
+    return a;
+  }
+
+  [[nodiscard]] static Action exit() {
+    Action a;
+    a.kind = Kind::kExit;
+    return a;
+  }
+
+  [[nodiscard]] static Action change_constraints(
+      const rt::Constraints& c, std::function<void(ThreadCtx&)> fx = nullptr) {
+    Action a;
+    a.kind = Kind::kChangeConstraints;
+    a.constraints = c;
+    a.on_complete = std::move(fx);
+    return a;
+  }
+
+  [[nodiscard]] static Action halt() {
+    Action a;
+    a.kind = Kind::kHalt;
+    return a;
+  }
+};
+
+/// A point of serialization between CPUs: an atomic variable / contended
+/// cache line.  Operations are granted exclusive access in arrival order;
+/// each holds the resource for its service cost.  This is what makes group
+/// collective costs grow linearly with member count (Figure 10).
+struct SeqResource {
+  sim::Nanos free_at = 0;
+  std::uint64_t ops = 0;
+
+  /// Reserve the resource for an op issued at `now` taking `cost`;
+  /// returns the completion time.
+  sim::Nanos reserve(sim::Nanos now, sim::Nanos cost) {
+    const sim::Nanos start = now > free_at ? now : free_at;
+    free_at = start + cost;
+    ++ops;
+    return free_at;
+  }
+};
+
+}  // namespace hrt::nk

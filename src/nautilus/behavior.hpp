@@ -1,0 +1,86 @@
+// Behavior: the "code" of a simulated thread.
+//
+// The executor asks the behavior for the next Action each time the previous
+// one completes.  ThreadCtx gives the behavior its view of the world: the
+// kernel, itself, the local wall clock, and the result of the most recent
+// admission request.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nautilus/action.hpp"
+#include "sim/time.hpp"
+
+namespace hrt::nk {
+
+class Kernel;
+class Thread;
+
+struct ThreadCtx {
+  Kernel& kernel;
+  Thread& self;
+  sim::Nanos wall_now;     // this CPU's wall-clock estimate
+  bool last_admit_ok;      // result of the last kChangeConstraints
+};
+
+class Behavior {
+ public:
+  virtual ~Behavior() = default;
+
+  /// Produce the next action.  Returning Action::exit() ends the thread.
+  virtual Action next(ThreadCtx& ctx) = 0;
+
+  [[nodiscard]] virtual std::string describe() const { return "behavior"; }
+};
+
+/// A behavior assembled from a fixed list of actions, then exit.
+class SequenceBehavior final : public Behavior {
+ public:
+  explicit SequenceBehavior(std::vector<Action> actions)
+      : actions_(std::move(actions)) {}
+
+  Action next(ThreadCtx&) override {
+    if (index_ >= actions_.size()) return Action::exit();
+    return actions_[index_++];
+  }
+
+  [[nodiscard]] std::string describe() const override { return "sequence"; }
+
+ private:
+  std::vector<Action> actions_;
+  std::size_t index_ = 0;
+};
+
+/// A behavior driven by a callable: fn(ctx, step) -> Action.  `step`
+/// increments on every call, so simple loops are one lambda.
+class FnBehavior final : public Behavior {
+ public:
+  using Fn = std::function<Action(ThreadCtx&, std::uint64_t step)>;
+  explicit FnBehavior(Fn fn) : fn_(std::move(fn)) {}
+
+  Action next(ThreadCtx& ctx) override { return fn_(ctx, step_++); }
+
+  [[nodiscard]] std::string describe() const override { return "fn"; }
+
+ private:
+  Fn fn_;
+  std::uint64_t step_ = 0;
+};
+
+/// Compute forever in fixed-size chunks; the canonical CPU-bound load.
+class BusyLoopBehavior final : public Behavior {
+ public:
+  explicit BusyLoopBehavior(sim::Nanos chunk) : chunk_(chunk) {}
+
+  Action next(ThreadCtx&) override { return Action::compute(chunk_); }
+
+  [[nodiscard]] std::string describe() const override { return "busy-loop"; }
+
+ private:
+  sim::Nanos chunk_;
+};
+
+}  // namespace hrt::nk

@@ -1,0 +1,104 @@
+#include "nautilus/buddy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hrt::nk {
+
+BuddyAllocator::BuddyAllocator(std::uint64_t base, std::uint32_t min_order,
+                               std::uint32_t max_order)
+    : base_(base), min_order_(min_order), levels_(max_order - min_order + 1) {
+  if (max_order < min_order || max_order >= 63) {
+    throw std::invalid_argument("BuddyAllocator: bad order range");
+  }
+  free_lists_.resize(levels_);
+  free_lists_.back().push_back(0);  // one maximal block
+}
+
+std::uint32_t BuddyAllocator::order_for(std::uint64_t size) const {
+  std::uint32_t order = min_order_;
+  while (block_size(order) < size) ++order;
+  return order;
+}
+
+std::optional<std::uint64_t> BuddyAllocator::alloc(std::uint64_t size) {
+  if (size == 0) size = 1;
+  const std::uint32_t want = order_for(size);
+  if (want > min_order_ + levels_ - 1) return std::nullopt;
+  // Find the smallest free block of order >= want.
+  std::uint32_t have = want;
+  while (have <= min_order_ + levels_ - 1 &&
+         free_lists_[have - min_order_].empty()) {
+    ++have;
+  }
+  if (have > min_order_ + levels_ - 1) return std::nullopt;
+
+  std::uint64_t offset = free_lists_[have - min_order_].back();
+  free_lists_[have - min_order_].pop_back();
+  // Split down to the wanted order; at most (max_order - min_order) splits,
+  // a compile-time-bounded path length.
+  while (have > want) {
+    --have;
+    free_lists_[have - min_order_].push_back(offset + block_size(have));
+  }
+  live_.push_back(Live{offset, want});
+  allocated_ += block_size(want);
+  ++alloc_count_;
+  return base_ + offset;
+}
+
+void BuddyAllocator::free(std::uint64_t addr) {
+  if (addr < base_) throw std::invalid_argument("BuddyAllocator: bad free");
+  std::uint64_t offset = addr - base_;
+  auto it = std::find_if(live_.begin(), live_.end(), [&](const Live& l) {
+    return l.offset == offset;
+  });
+  if (it == live_.end()) {
+    throw std::invalid_argument("BuddyAllocator: free of unallocated block");
+  }
+  std::uint32_t order = it->order;
+  live_.erase(it);
+  allocated_ -= block_size(order);
+
+  // Coalesce with the buddy while it is free.
+  while (order < min_order_ + levels_ - 1) {
+    const std::uint64_t buddy = offset ^ block_size(order);
+    auto& list = free_lists_[order - min_order_];
+    auto bit = std::find(list.begin(), list.end(), buddy);
+    if (bit == list.end()) break;
+    list.erase(bit);
+    offset = std::min(offset, buddy);
+    ++order;
+  }
+  free_lists_[order - min_order_].push_back(offset);
+}
+
+std::uint64_t BuddyAllocator::largest_free_block() const {
+  for (std::uint32_t i = levels_; i-- > 0;) {
+    if (!free_lists_[i].empty()) return block_size(min_order_ + i);
+  }
+  return 0;
+}
+
+bool BuddyAllocator::check_invariants() const {
+  // Collect every block (free and live) as [start, end) and verify they
+  // tile the arena without overlap.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> spans;
+  for (std::uint32_t i = 0; i < levels_; ++i) {
+    for (std::uint64_t off : free_lists_[i]) {
+      spans.emplace_back(off, off + block_size(min_order_ + i));
+    }
+  }
+  for (const Live& l : live_) {
+    spans.emplace_back(l.offset, l.offset + block_size(l.order));
+  }
+  std::sort(spans.begin(), spans.end());
+  std::uint64_t cursor = 0;
+  for (const auto& [s, e] : spans) {
+    if (s != cursor) return false;
+    cursor = e;
+  }
+  return cursor == capacity();
+}
+
+}  // namespace hrt::nk

@@ -1,0 +1,79 @@
+// Buddy-system allocator.
+//
+// Nautilus does all memory management with per-zone buddy allocators chosen
+// by target NUMA zone (section 2): allocation is explicit, happens at
+// deterministic cost, and there is no paging or movement afterward.  This is
+// a real allocator over a simulated physical range — the kernel uses it to
+// place thread stacks/state, and its determinism properties are unit-tested
+// (constant split/merge depth bounds).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace hrt::nk {
+
+class BuddyAllocator {
+ public:
+  /// Manages [base, base + (1 << max_order) * min_block) bytes.
+  /// min_block must be a power of two.
+  BuddyAllocator(std::uint64_t base, std::uint32_t min_order,
+                 std::uint32_t max_order);
+
+  BuddyAllocator(const BuddyAllocator&) = delete;
+  BuddyAllocator& operator=(const BuddyAllocator&) = delete;
+
+  /// Allocate at least `size` bytes; returns the block address, or nullopt
+  /// when no block is available.
+  std::optional<std::uint64_t> alloc(std::uint64_t size);
+
+  /// Free a previously allocated block.  Throws on double free or on an
+  /// address that was never returned by alloc.
+  void free(std::uint64_t addr);
+
+  [[nodiscard]] std::uint64_t base() const { return base_; }
+  [[nodiscard]] std::uint64_t capacity() const {
+    return 1ull << (min_order_ + levels_ - 1);
+  }
+  [[nodiscard]] std::uint64_t bytes_allocated() const { return allocated_; }
+  [[nodiscard]] std::uint64_t free_bytes() const {
+    return capacity() - allocated_;
+  }
+  [[nodiscard]] std::uint64_t alloc_count() const { return alloc_count_; }
+
+  /// Largest contiguous block currently available, in bytes (0 if full).
+  [[nodiscard]] std::uint64_t largest_free_block() const;
+
+  /// Internal invariant check (free lists consistent, no overlapping
+  /// blocks).  Used by tests.
+  [[nodiscard]] bool check_invariants() const;
+
+ private:
+  struct Block {
+    std::uint64_t addr;
+  };
+
+  [[nodiscard]] std::uint32_t order_for(std::uint64_t size) const;
+  [[nodiscard]] std::uint64_t block_size(std::uint32_t order) const {
+    return 1ull << order;
+  }
+
+  std::uint64_t base_;
+  std::uint32_t min_order_;  // log2 of smallest block
+  std::uint32_t levels_;     // number of orders managed
+  std::uint64_t allocated_ = 0;
+  std::uint64_t alloc_count_ = 0;
+
+  // free_lists_[i] holds free blocks of order (min_order_ + i), as offsets
+  // from base_.
+  std::vector<std::vector<std::uint64_t>> free_lists_;
+
+  struct Live {
+    std::uint64_t offset;
+    std::uint32_t order;
+  };
+  std::vector<Live> live_;  // allocated blocks (offset-sorted not required)
+};
+
+}  // namespace hrt::nk

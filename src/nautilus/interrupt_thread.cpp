@@ -1,0 +1,49 @@
+#include "nautilus/interrupt_thread.hpp"
+
+namespace hrt::nk {
+
+/// Bottom-half loop: process the backlog one interrupt at a time, then
+/// sleep until the top half wakes us.
+class InterruptThread::BottomHalf final : public Behavior {
+ public:
+  explicit BottomHalf(InterruptThread& owner) : owner_(owner) {}
+
+  Action next(ThreadCtx&) override {
+    if (owner_.processed_ < owner_.queued_) {
+      return Action::compute(owner_.bottom_half_ns_, [this](ThreadCtx&) {
+        ++owner_.processed_;
+      });
+    }
+    // Nothing pending: block until the next top half wakes us.  The long
+    // timeout is a liveness backstop, not a poll.
+    return Action::sleep(sim::seconds(3600));
+  }
+
+  [[nodiscard]] std::string describe() const override {
+    return "interrupt-thread";
+  }
+
+ private:
+  InterruptThread& owner_;
+};
+
+InterruptThread::InterruptThread(Kernel& kernel, std::uint32_t cpu,
+                                 sim::Cycles bottom_half_cost,
+                                 rt::AperiodicPriority priority)
+    : kernel_(kernel),
+      bottom_half_ns_(kernel.machine().spec().freq.cycles_to_ns_ceil(
+          bottom_half_cost)) {
+  thread_ = kernel_.create_thread("irq-thread",
+                                  std::make_unique<BottomHalf>(*this), cpu,
+                                  priority);
+}
+
+void InterruptThread::attach_vector(hw::Vector vector,
+                                    sim::Cycles top_half_cost) {
+  kernel_.register_device_handler(vector, top_half_cost, [this] {
+    ++queued_;
+    kernel_.wake_thread(thread_);
+  });
+}
+
+}  // namespace hrt::nk

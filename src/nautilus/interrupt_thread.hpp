@@ -1,0 +1,54 @@
+// The "interrupt thread" of section 3.5: the second amelioration mechanism
+// for the interrupt-laden partition.
+//
+// "...the second mechanism provides the ability to steer interrupts toward
+// a specific 'interrupt thread'."  The hardware handler (top half) stays
+// minimal — acknowledge and count — and the deferred processing (bottom
+// half) runs in an ordinary aperiodic thread that the scheduler places in
+// the gaps, so device work contends like any other thread instead of
+// preempting arbitrary code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hw/interrupts.hpp"
+#include "nautilus/kernel.hpp"
+
+namespace hrt::nk {
+
+class InterruptThread {
+ public:
+  /// Create the bottom-half thread on `cpu` (normally within the
+  /// interrupt-laden partition).  `bottom_half_cost` is the per-interrupt
+  /// processing cost in cycles.
+  InterruptThread(Kernel& kernel, std::uint32_t cpu,
+                  sim::Cycles bottom_half_cost,
+                  rt::AperiodicPriority priority = rt::kDefaultPriority);
+
+  InterruptThread(const InterruptThread&) = delete;
+  InterruptThread& operator=(const InterruptThread&) = delete;
+
+  /// Route `vector` here: registers a minimal top half (cost
+  /// `top_half_cost` cycles) that queues work for the bottom-half thread
+  /// and wakes it.
+  void attach_vector(hw::Vector vector, sim::Cycles top_half_cost);
+
+  [[nodiscard]] Thread* thread() const { return thread_; }
+  [[nodiscard]] std::uint64_t interrupts_queued() const { return queued_; }
+  [[nodiscard]] std::uint64_t interrupts_processed() const {
+    return processed_;
+  }
+  [[nodiscard]] std::uint64_t backlog() const { return queued_ - processed_; }
+
+ private:
+  class BottomHalf;
+
+  Kernel& kernel_;
+  Thread* thread_ = nullptr;
+  sim::Nanos bottom_half_ns_;
+  std::uint64_t queued_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace hrt::nk

@@ -1,0 +1,99 @@
+// The interface a local scheduler presents to the kernel/executor layer.
+//
+// The concrete hard real-time scheduler lives in rt/; keeping the interface
+// here lets the kernel host any per-CPU scheduling policy (the baseline
+// non-real-time schedulers implement it too).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "rt/constraints.hpp"
+#include "sim/time.hpp"
+
+namespace hrt::nk {
+
+class CpuExecutor;
+class Thread;
+
+/// Why a scheduling pass is running.
+enum class PassReason : std::uint8_t {
+  kBoot,
+  kTimer,
+  kKick,
+  kYield,
+  kSleep,
+  kExit,
+  kChangeConstraints,
+};
+
+/// A lightweight task (section 3.1): a queued callback, cheaper than a
+/// thread.  Size-tagged tasks (size >= 0) may be run directly by the
+/// scheduler when they fit before the next RT arrival; unsized tasks
+/// (size < 0) must go to the task-exec helper thread.
+struct Task {
+  std::function<void()> fn;
+  sim::Nanos size = -1;
+};
+
+/// Outcome of one scheduling pass.
+struct PassResult {
+  Thread* next = nullptr;               // thread to run (never null; idle ok)
+  sim::Cycles pass_cycles = 0;          // cost of the pass itself
+  sim::Nanos task_ns = 0;               // inline sized-task execution time
+  std::vector<std::function<void()>> task_callbacks;  // run at handler end
+};
+
+class SchedulerBase {
+ public:
+  virtual ~SchedulerBase() = default;
+
+  /// Wire up the executor this scheduler drives.  Called once at boot.
+  virtual void attach(CpuExecutor* exec) = 0;
+
+  /// One scheduling pass at local wall time `local_now`.  Must be
+  /// deterministic given its queue state and `local_now` — group scheduling
+  /// (section 4.1) depends on identical inputs producing identical outputs.
+  virtual PassResult pass(PassReason reason, sim::Nanos local_now) = 0;
+
+  /// Program the one-shot timer for the next scheduling event, given that
+  /// the chosen thread resumes at `local_now`.
+  virtual void arm_timer(sim::Nanos local_now) = 0;
+
+  /// Local admission control.  `gamma` is the wall-clock admission time.
+  /// Returns false (and leaves the thread's constraints untouched) on
+  /// rejection.  Aperiodic requests always succeed.
+  virtual bool change_constraints(Thread& t, const rt::Constraints& c,
+                                  sim::Nanos gamma) = 0;
+
+  /// Cost of admission-control processing for this request, in cycles.
+  /// Schedulers may discount requests that only commit an existing
+  /// reservation (group admission's final step, section 4.4).
+  [[nodiscard]] virtual sim::Cycles admission_cost_cycles(
+      const Thread& t, const rt::Constraints& c) const = 0;
+
+  /// Make a (new or migrated) ready thread runnable on this CPU.
+  virtual void enqueue(Thread* t) = 0;
+
+  /// Thread-context events.
+  virtual void on_sleep(Thread& t, sim::Nanos wake_local) = 0;
+  virtual void on_exit(Thread& t) = 0;
+
+  /// Wake a sleeping thread early (interrupt-thread signalling).  Returns
+  /// false if the thread was not sleeping here.
+  virtual bool try_wake(Thread& t) = 0;
+
+  /// Lightweight tasks.
+  virtual void submit_task(Task task) = 0;
+
+  /// Work stealing support (aperiodic, unbound threads only).
+  [[nodiscard]] virtual std::size_t stealable_count() const = 0;
+  virtual Thread* try_steal() = 0;
+
+  /// Introspection for tests and admission bookkeeping.
+  [[nodiscard]] virtual std::size_t thread_count() const = 0;
+  [[nodiscard]] virtual double admitted_utilization() const = 0;
+};
+
+}  // namespace hrt::nk

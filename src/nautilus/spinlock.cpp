@@ -1,0 +1,41 @@
+#include "nautilus/spinlock.hpp"
+
+namespace hrt::nk {
+
+SpinLock::SpinLock(Kernel& kernel) : kernel_(kernel) {
+  const auto& spec = kernel_.machine().spec();
+  atomic_ns_ = spec.freq.cycles_to_ns_ceil(spec.cost.atomic_rmw +
+                                           spec.cost.cacheline_transfer);
+}
+
+WaitFlag& SpinLock::flag_for(std::uint32_t ticket) {
+  while (flags_.size() <= ticket) {
+    flags_.push_back(std::make_unique<WaitFlag>(kernel_));
+  }
+  return *flags_[ticket];
+}
+
+Action SpinLock::take_ticket_action(Ticket* ticket) {
+  return Action::atomic(&line_, atomic_ns_, [this, ticket](ThreadCtx&) {
+    ticket->number = next_ticket_++;
+    if (ticket->number == serving_) {
+      // Uncontended: the lock is immediately ours.
+      flag_for(ticket->number).set();
+    }
+  });
+}
+
+Action SpinLock::wait_action(const Ticket* ticket) {
+  return Action::spin_until(&flag_for(ticket->number));
+}
+
+Action SpinLock::release_action() {
+  return Action::atomic(&line_, atomic_ns_, [this](ThreadCtx&) {
+    ++serving_;
+    // Wake the next waiter, or pre-arm the slot so an uncontended acquire
+    // proceeds immediately.
+    flag_for(serving_).set();
+  });
+}
+
+}  // namespace hrt::nk

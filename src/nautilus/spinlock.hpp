@@ -1,0 +1,52 @@
+// Ticket spinlock model.
+//
+// Each local scheduler "has lockable state" and kernel features like
+// thread-pool reaping and work stealing take such locks for bounded times
+// (section 3.4).  This primitive composes the existing simulation pieces —
+// a serialized ticket counter plus a per-ticket spin flag — so behaviors
+// can express bounded critical sections whose contention costs are charged
+// faithfully.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nautilus/action.hpp"
+#include "nautilus/kernel.hpp"
+#include "nautilus/sync.hpp"
+
+namespace hrt::nk {
+
+class SpinLock {
+ public:
+  explicit SpinLock(Kernel& kernel);
+
+  /// Per-acquisition handle (analogous to the ticket you drew).
+  struct Ticket {
+    std::uint32_t number = 0;
+  };
+
+  /// Step 1: draw a ticket (serialized fetch-add on the lock line).
+  [[nodiscard]] Action take_ticket_action(Ticket* ticket);
+  /// Step 2: spin until our ticket is served.  The holder of the previous
+  /// ticket must release before this completes.
+  [[nodiscard]] Action wait_action(const Ticket* ticket);
+  /// Step 3 (after the critical section): serve the next ticket.
+  [[nodiscard]] Action release_action();
+
+  [[nodiscard]] bool held() const { return serving_ < next_ticket_; }
+  [[nodiscard]] std::uint32_t acquisitions() const { return next_ticket_; }
+
+ private:
+  WaitFlag& flag_for(std::uint32_t ticket);
+
+  Kernel& kernel_;
+  SeqResource line_;
+  sim::Nanos atomic_ns_;
+  std::uint32_t next_ticket_ = 0;
+  std::uint32_t serving_ = 0;  // tickets [0, serving_) have released
+  std::vector<std::unique_ptr<WaitFlag>> flags_;
+};
+
+}  // namespace hrt::nk

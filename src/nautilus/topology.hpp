@@ -1,0 +1,44 @@
+// Minimal NUMA topology description.
+//
+// Nautilus guarantees that a bound thread's essential state lives in the
+// most desirable zone (section 2).  The simulated cost model charges no
+// extra latency for NUMA (the Phi is one socket), but zone assignment is
+// tracked so allocation locality is testable and the R415's two sockets are
+// represented.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hrt::nk {
+
+class Topology {
+ public:
+  Topology(std::uint32_t num_cpus, std::uint32_t num_zones)
+      : num_cpus_(num_cpus), num_zones_(num_zones == 0 ? 1 : num_zones) {}
+
+  [[nodiscard]] std::uint32_t num_cpus() const { return num_cpus_; }
+  [[nodiscard]] std::uint32_t num_zones() const { return num_zones_; }
+
+  /// Zone of a CPU: CPUs are divided into contiguous equal blocks.
+  [[nodiscard]] std::uint32_t zone_of(std::uint32_t cpu) const {
+    const std::uint32_t per = (num_cpus_ + num_zones_ - 1) / num_zones_;
+    const std::uint32_t z = cpu / per;
+    return z < num_zones_ ? z : num_zones_ - 1;
+  }
+
+  [[nodiscard]] std::vector<std::uint32_t> cpus_in_zone(
+      std::uint32_t zone) const {
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t c = 0; c < num_cpus_; ++c) {
+      if (zone_of(c) == zone) out.push_back(c);
+    }
+    return out;
+  }
+
+ private:
+  std::uint32_t num_cpus_;
+  std::uint32_t num_zones_;
+};
+
+}  // namespace hrt::nk

@@ -1,0 +1,161 @@
+#include "rt/admission.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+namespace hrt::rt {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+double total_utilization(const std::vector<PeriodicTask>& set) {
+  double u = 0.0;
+  for (const auto& t : set) {
+    u += static_cast<double>(t.slice) / static_cast<double>(t.period);
+  }
+  return u;
+}
+
+bool edf_admissible(const std::vector<PeriodicTask>& set, double available) {
+  for (const auto& t : set) {
+    if (t.period <= 0 || t.slice <= 0 || t.slice > t.period) return false;
+  }
+  return total_utilization(set) <= available + kEps;
+}
+
+bool rm_ll_admissible(const std::vector<PeriodicTask>& set, double available) {
+  for (const auto& t : set) {
+    if (t.period <= 0 || t.slice <= 0 || t.slice > t.period) return false;
+  }
+  const auto n = static_cast<double>(set.size());
+  if (set.empty()) return true;
+  const double bound = n * (std::pow(2.0, 1.0 / n) - 1.0);
+  return total_utilization(set) <= bound * available + kEps;
+}
+
+bool rm_rta_admissible(const std::vector<PeriodicTask>& set,
+                       double available) {
+  if (available <= 0.0) return set.empty();
+  std::vector<PeriodicTask> s = set;
+  for (auto& t : s) {
+    if (t.period <= 0 || t.slice <= 0) return false;
+    // Approximate partial availability by inflating execution demand.
+    t.slice = static_cast<sim::Nanos>(
+        std::ceil(static_cast<double>(t.slice) / available));
+    if (t.slice > t.period) return false;
+  }
+  // RM priority: shorter period = higher priority.
+  std::sort(s.begin(), s.end(), [](const PeriodicTask& a,
+                                   const PeriodicTask& b) {
+    return a.period < b.period;
+  });
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    // Fixed-point iteration R = C_i + sum_{j<i} ceil(R / T_j) C_j.
+    sim::Nanos r = s[i].slice;
+    for (int iter = 0; iter < 1000; ++iter) {
+      sim::Nanos demand = s[i].slice;
+      for (std::size_t j = 0; j < i; ++j) {
+        const sim::Nanos jobs = (r + s[j].period - 1) / s[j].period;
+        demand += jobs * s[j].slice;
+      }
+      if (demand == r) break;
+      r = demand;
+      if (r > s[i].period) return false;
+    }
+    if (r > s[i].period) return false;
+  }
+  return true;
+}
+
+namespace {
+
+sim::Nanos gcd64(sim::Nanos a, sim::Nanos b) {
+  while (b != 0) {
+    const sim::Nanos t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+}  // namespace
+
+SimAdmissionResult simulate_edf_admission(const std::vector<PeriodicTask>& set,
+                                          const SimAdmissionConfig& cfg) {
+  SimAdmissionResult result;
+  if (set.empty()) {
+    result.admissible = true;
+    return result;
+  }
+  // Hyperperiod via lcm with overflow/horizon guard.
+  sim::Nanos hyper = 1;
+  sim::Nanos max_phase = 0;
+  for (const auto& t : set) {
+    if (t.period <= 0 || t.slice <= 0 || t.slice > t.period) return result;
+    const sim::Nanos g = gcd64(hyper, t.period);
+    hyper = hyper / g * t.period;
+    max_phase = std::max(max_phase, t.phase);
+    if (hyper > cfg.max_horizon) {
+      result.horizon_exceeded = true;
+      return result;
+    }
+  }
+  result.hyperperiod = hyper;
+  const sim::Nanos horizon = max_phase + 2 * hyper;
+
+  // Event-driven eager-EDF simulation of the periodic set.  Each slice costs
+  // two scheduler invocations' worth of overhead (arrival + timeout).
+  struct Job {
+    sim::Nanos deadline;
+    sim::Nanos remaining;
+    std::size_t task;
+  };
+  auto later = [](const Job& a, const Job& b) {
+    return a.deadline > b.deadline;
+  };
+  std::priority_queue<Job, std::vector<Job>, decltype(later)> ready(later);
+
+  std::vector<sim::Nanos> next_arrival(set.size());
+  for (std::size_t i = 0; i < set.size(); ++i) next_arrival[i] = set[i].phase;
+
+  sim::Nanos now = 0;
+  while (now < horizon) {
+    // Release everything due.
+    sim::Nanos next_rel = horizon;
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      while (next_arrival[i] <= now) {
+        ready.push(Job{next_arrival[i] + set[i].period,
+                       set[i].slice + 2 * cfg.per_invocation_overhead, i});
+        next_arrival[i] += set[i].period;
+      }
+      next_rel = std::min(next_rel, next_arrival[i]);
+    }
+    if (ready.empty()) {
+      now = next_rel;
+      continue;
+    }
+    Job job = ready.top();
+    ready.pop();
+    // Run until done or the next release, whichever first.
+    const sim::Nanos run = std::min(job.remaining, next_rel - now);
+    now += run;
+    job.remaining -= run;
+    if (job.remaining > 0) {
+      ready.push(job);
+    } else if (now > job.deadline) {
+      ++result.missed_deadlines;
+    }
+  }
+  // Anything still queued past its deadline at the horizon is also late.
+  while (!ready.empty()) {
+    if (horizon > ready.top().deadline) ++result.missed_deadlines;
+    ready.pop();
+  }
+  result.admissible = result.missed_deadlines == 0;
+  return result;
+}
+
+}  // namespace hrt::rt

@@ -1,0 +1,71 @@
+// Admission control analyses (section 3.2).
+//
+// "Periodic and sporadic threads are admitted based on the classic single
+// CPU schemes for rate monotonic (RM) and earliest deadline first (EDF)
+// models [Liu & Layland 1973]."  The module provides, over a candidate set
+// of periodic constraints and an available utilization budget:
+//   * the EDF utilization test (exact for implicit deadlines),
+//   * the Liu-Layland RM bound, plus exact response-time analysis (RTA),
+//   * the paper's prototype simulation-based admission: simulate the local
+//     scheduler over a hyperperiod and accept iff no deadline is missed
+//     ("We developed one prototype that did admission for a periodic
+//     thread-only model by simulating the local scheduler for a
+//     hyperperiod").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rt/constraints.hpp"
+#include "sim/time.hpp"
+
+namespace hrt::rt {
+
+struct PeriodicTask {
+  sim::Nanos period;
+  sim::Nanos slice;
+  sim::Nanos phase = 0;
+};
+
+/// Sum of slice/period over the set.
+[[nodiscard]] double total_utilization(const std::vector<PeriodicTask>& set);
+
+/// EDF: schedulable on `available` fraction of a CPU iff U <= available.
+[[nodiscard]] bool edf_admissible(const std::vector<PeriodicTask>& set,
+                                  double available);
+
+/// RM, Liu-Layland sufficient bound: U <= n (2^(1/n) - 1), scaled by the
+/// available fraction.  Conservative; never admits an unschedulable set.
+[[nodiscard]] bool rm_ll_admissible(const std::vector<PeriodicTask>& set,
+                                    double available);
+
+/// RM, exact response-time analysis (Joseph & Pandya).  Only valid for a
+/// full CPU (available == 1.0 semantics are approximated by inflating
+/// slices by 1/available).
+[[nodiscard]] bool rm_rta_admissible(const std::vector<PeriodicTask>& set,
+                                     double available);
+
+struct SimAdmissionConfig {
+  /// Per-scheduler-invocation overhead charged in the simulation; this is
+  /// how the utilization limit's headroom for the scheduler itself is
+  /// reflected (two invocations bound each slice: arrival and timeout).
+  sim::Nanos per_invocation_overhead = 0;
+  /// Cap on the simulated horizon; hyperperiods beyond this are rejected
+  /// (admission must itself be bounded).
+  sim::Nanos max_horizon = sim::millis(500);
+};
+
+struct SimAdmissionResult {
+  bool admissible = false;
+  bool horizon_exceeded = false;  // hyperperiod too long to simulate
+  sim::Nanos hyperperiod = 0;
+  std::uint64_t missed_deadlines = 0;
+};
+
+/// Simulate an eager-EDF schedule of `set` for one hyperperiod (plus the
+/// largest phase) and report whether every arrival receives its slice by
+/// its deadline.
+[[nodiscard]] SimAdmissionResult simulate_edf_admission(
+    const std::vector<PeriodicTask>& set, const SimAdmissionConfig& cfg);
+
+}  // namespace hrt::rt

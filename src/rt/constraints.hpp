@@ -1,0 +1,131 @@
+// Timing constraints, following the model of Liu adopted in section 3.1.
+//
+// A thread is in exactly one class at a time:
+//   * Aperiodic: no real-time constraint, only a priority mu.  Newly created
+//     threads begin life in this class.  Admission cannot fail.
+//   * Periodic (phi, tau, sigma): first arrival at Gamma + phi, then every
+//     tau; each arrival is guaranteed sigma of execution before the next
+//     arrival, which is its deadline.
+//   * Sporadic (phi, omega, d, mu): one arrival at Gamma + phi, guaranteed
+//     omega of execution before the deadline, then the thread continues as
+//     aperiodic with priority mu.
+//
+// Gamma is the wall-clock admission time; phase and (sporadic) deadline are
+// stored relative to Gamma and resolved at admission.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace hrt::rt {
+
+enum class ConstraintClass : std::uint8_t { kAperiodic, kPeriodic, kSporadic };
+
+/// Lower value = more important, like a Unix niceness flipped.
+using AperiodicPriority = std::uint32_t;
+inline constexpr AperiodicPriority kDefaultPriority = 100;
+inline constexpr AperiodicPriority kIdlePriority = 0xFFFFFFFFu;
+
+struct Constraints {
+  ConstraintClass cls = ConstraintClass::kAperiodic;
+
+  // Aperiodic (also the tail behavior of a completed sporadic).
+  AperiodicPriority priority = kDefaultPriority;
+
+  // Shared by periodic and sporadic: offset of first arrival from Gamma.
+  sim::Nanos phase = 0;
+
+  // Periodic.
+  sim::Nanos period = 0;  // tau
+  sim::Nanos slice = 0;   // sigma
+
+  // Sporadic.
+  sim::Nanos size = 0;              // omega
+  sim::Nanos deadline_offset = 0;   // deadline relative to Gamma
+
+  [[nodiscard]] static Constraints aperiodic(
+      AperiodicPriority mu = kDefaultPriority) {
+    Constraints c;
+    c.cls = ConstraintClass::kAperiodic;
+    c.priority = mu;
+    return c;
+  }
+
+  [[nodiscard]] static Constraints periodic(sim::Nanos phase, sim::Nanos tau,
+                                            sim::Nanos sigma) {
+    Constraints c;
+    c.cls = ConstraintClass::kPeriodic;
+    c.phase = phase;
+    c.period = tau;
+    c.slice = sigma;
+    return c;
+  }
+
+  [[nodiscard]] static Constraints sporadic(
+      sim::Nanos phase, sim::Nanos omega, sim::Nanos deadline_offset,
+      AperiodicPriority mu = kDefaultPriority) {
+    Constraints c;
+    c.cls = ConstraintClass::kSporadic;
+    c.phase = phase;
+    c.size = omega;
+    c.deadline_offset = deadline_offset;
+    c.priority = mu;
+    return c;
+  }
+
+  [[nodiscard]] bool is_realtime() const {
+    return cls != ConstraintClass::kAperiodic;
+  }
+
+  /// Long-run CPU utilization demanded by this constraint.  Sporadic
+  /// utilization is its density omega / (deadline - phase), the classic
+  /// conservative measure.
+  [[nodiscard]] double utilization() const {
+    switch (cls) {
+      case ConstraintClass::kPeriodic:
+        return period > 0
+                   ? static_cast<double>(slice) / static_cast<double>(period)
+                   : 0.0;
+      case ConstraintClass::kSporadic: {
+        const sim::Nanos window = deadline_offset - phase;
+        return window > 0
+                   ? static_cast<double>(size) / static_cast<double>(window)
+                   : 1.0e9;  // degenerate: impossible to admit
+      }
+      case ConstraintClass::kAperiodic:
+        return 0.0;
+    }
+    return 0.0;
+  }
+
+  /// Structural validity (admission feasibility is the scheduler's job).
+  [[nodiscard]] bool well_formed() const {
+    switch (cls) {
+      case ConstraintClass::kAperiodic:
+        return true;
+      case ConstraintClass::kPeriodic:
+        return phase >= 0 && period > 0 && slice > 0 && slice <= period;
+      case ConstraintClass::kSporadic:
+        return phase >= 0 && size > 0 && deadline_offset > phase &&
+               size <= deadline_offset - phase;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool operator==(const Constraints& o) const {
+    if (cls != o.cls) return false;
+    switch (cls) {
+      case ConstraintClass::kAperiodic:
+        return priority == o.priority;
+      case ConstraintClass::kPeriodic:
+        return phase == o.phase && period == o.period && slice == o.slice;
+      case ConstraintClass::kSporadic:
+        return phase == o.phase && size == o.size &&
+               deadline_offset == o.deadline_offset && priority == o.priority;
+    }
+    return false;
+  }
+};
+
+}  // namespace hrt::rt

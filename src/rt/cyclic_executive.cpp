@@ -1,0 +1,169 @@
+#include "rt/cyclic_executive.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+namespace hrt::rt {
+
+namespace {
+
+sim::Nanos gcd64(sim::Nanos a, sim::Nanos b) {
+  while (b != 0) {
+    const sim::Nanos t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+sim::Nanos hyperperiod_of(const std::vector<PeriodicTask>& set) {
+  sim::Nanos h = 1;
+  for (const auto& t : set) {
+    h = h / gcd64(h, t.period) * t.period;
+    if (h <= 0 || h > sim::seconds(10)) return -1;  // unreasonable horizon
+  }
+  return h;
+}
+
+}  // namespace
+
+int CyclicExecutive::task_at(sim::Nanos t) const {
+  if (frame <= 0 || frames.empty()) return -1;
+  const std::size_t fi =
+      static_cast<std::size_t>((t % hyperperiod) / frame);
+  sim::Nanos off = (t % hyperperiod) % frame;
+  for (const FrameEntry& e : frames[fi]) {
+    if (off < e.duration) return static_cast<int>(e.task);
+    off -= e.duration;
+  }
+  return -1;
+}
+
+bool CyclicExecutive::valid_for(const std::vector<PeriodicTask>& set) const {
+  if (frame <= 0 || hyperperiod <= 0) return false;
+  if (frames.size() != static_cast<std::size_t>(hyperperiod / frame)) {
+    return false;
+  }
+  // No frame overflows.
+  for (const auto& f : frames) {
+    sim::Nanos used = 0;
+    for (const auto& e : f) used += e.duration;
+    if (used > frame) return false;
+  }
+  // Every job receives its slice within [release, deadline].
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const sim::Nanos tau = set[i].period;
+    for (sim::Nanos release = 0; release < hyperperiod; release += tau) {
+      const sim::Nanos deadline = release + tau;
+      sim::Nanos got = 0;
+      for (std::size_t fi = 0; fi < frames.size(); ++fi) {
+        const sim::Nanos fs = static_cast<sim::Nanos>(fi) * frame;
+        const sim::Nanos fe = fs + frame;
+        if (fs < release || fe > deadline) continue;
+        for (const auto& e : frames[fi]) {
+          if (e.task == i) got += e.duration;
+        }
+      }
+      if (got < set[i].slice) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<sim::Nanos> CyclicExecutiveBuilder::candidate_frames(
+    const std::vector<PeriodicTask>& set) {
+  std::vector<sim::Nanos> out;
+  if (set.empty()) return out;
+  const sim::Nanos h = hyperperiod_of(set);
+  if (h <= 0) return out;
+  // Enumerate divisors of the hyperperiod via trial division to sqrt(h).
+  std::vector<sim::Nanos> divisors;
+  for (sim::Nanos d = 1; d * d <= h; ++d) {
+    if (h % d == 0) {
+      divisors.push_back(d);
+      if (d != h / d) divisors.push_back(h / d);
+    }
+  }
+  std::sort(divisors.begin(), divisors.end(), std::greater<>());
+  for (sim::Nanos f : divisors) {
+    bool ok = true;
+    for (const auto& t : set) {
+      if (2 * f - gcd64(f, t.period) > t.period) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(f);
+  }
+  return out;
+}
+
+std::optional<CyclicExecutive> CyclicExecutiveBuilder::build(
+    const std::vector<PeriodicTask>& set) {
+  if (set.empty()) return std::nullopt;
+  for (const auto& t : set) {
+    if (t.period <= 0 || t.slice <= 0 || t.slice > t.period) {
+      return std::nullopt;
+    }
+  }
+  if (total_utilization(set) > 1.0 + 1e-9) return std::nullopt;
+  const sim::Nanos h = hyperperiod_of(set);
+  if (h <= 0) return std::nullopt;
+
+  for (sim::Nanos f : candidate_frames(set)) {
+    CyclicExecutive ce;
+    ce.frame = f;
+    ce.hyperperiod = h;
+    const std::size_t nframes = static_cast<std::size_t>(h / f);
+    ce.frames.assign(nframes, {});
+
+    // EDF-greedy packing of job chunks into frames.
+    struct Job {
+      std::size_t task;
+      sim::Nanos release;
+      sim::Nanos deadline;
+      sim::Nanos remaining;
+    };
+    std::vector<Job> jobs;
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      for (sim::Nanos r = 0; r < h; r += set[i].period) {
+        jobs.push_back(Job{i, r, r + set[i].period, set[i].slice});
+      }
+    }
+    bool feasible = true;
+    for (std::size_t fi = 0; fi < nframes && feasible; ++fi) {
+      const sim::Nanos fs = static_cast<sim::Nanos>(fi) * f;
+      const sim::Nanos fe = fs + f;
+      sim::Nanos room = f;
+      // Eligible jobs: released by frame start, deadline at/after frame end.
+      std::vector<Job*> eligible;
+      for (auto& j : jobs) {
+        if (j.remaining > 0 && j.release <= fs && j.deadline >= fe) {
+          eligible.push_back(&j);
+        }
+      }
+      std::sort(eligible.begin(), eligible.end(),
+                [](const Job* a, const Job* b) {
+                  return a->deadline < b->deadline;
+                });
+      for (Job* j : eligible) {
+        if (room == 0) break;
+        const sim::Nanos chunk = std::min(room, j->remaining);
+        ce.frames[fi].push_back(FrameEntry{j->task, chunk});
+        j->remaining -= chunk;
+        room -= chunk;
+      }
+    }
+    for (const auto& j : jobs) {
+      if (j.remaining > 0) {
+        feasible = false;
+        break;
+      }
+    }
+    if (feasible && ce.valid_for(set)) return ce;
+  }
+  return std::nullopt;
+}
+
+}  // namespace hrt::rt

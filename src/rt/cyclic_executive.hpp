@@ -1,0 +1,56 @@
+// Cyclic executive construction (section 8, future work):
+// "We are also exploring compiling parallel programs directly into cyclic
+// executives, providing real-time behavior by static construction."
+//
+// Given a periodic task set, the builder picks a frame size f and statically
+// assigns every job's execution to frames such that all deadlines are met by
+// construction.  Classic frame constraints:
+//   (1) f >= max slice            (a job chunk fits in a frame)  -- relaxed
+//       here because chunks may split across frames; retained as a
+//       preference when choosing f,
+//   (2) f divides the hyperperiod,
+//   (3) 2f - gcd(f, tau_i) <= tau_i for every task (a full frame fits
+//       between release and deadline).
+// Jobs are packed EDF-greedily into the frames of one hyperperiod.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "rt/admission.hpp"
+#include "sim/time.hpp"
+
+namespace hrt::rt {
+
+struct FrameEntry {
+  std::size_t task;      // index into the input set
+  sim::Nanos duration;   // how long this chunk runs within the frame
+};
+
+struct CyclicExecutive {
+  sim::Nanos frame = 0;        // f
+  sim::Nanos hyperperiod = 0;  // H
+  std::vector<std::vector<FrameEntry>> frames;  // H / f frames
+
+  /// Validate that each job of each task receives its full slice between
+  /// release and deadline.  Used by tests and by the builder itself.
+  [[nodiscard]] bool valid_for(const std::vector<PeriodicTask>& set) const;
+
+  /// Which task chunk runs at offset `t` into the hyperperiod (-1 = idle).
+  [[nodiscard]] int task_at(sim::Nanos t) const;
+};
+
+class CyclicExecutiveBuilder {
+ public:
+  /// Build a cyclic executive, or nullopt when the set is infeasible or no
+  /// acceptable frame size exists.
+  [[nodiscard]] static std::optional<CyclicExecutive> build(
+      const std::vector<PeriodicTask>& set);
+
+  /// All frame sizes satisfying the classic constraints, largest first.
+  [[nodiscard]] static std::vector<sim::Nanos> candidate_frames(
+      const std::vector<PeriodicTask>& set);
+};
+
+}  // namespace hrt::rt

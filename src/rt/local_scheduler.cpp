@@ -1,0 +1,516 @@
+#include "rt/local_scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nautilus/executor.hpp"
+#include "nautilus/kernel.hpp"
+
+namespace hrt::rt {
+
+namespace {
+constexpr double kEps = 1e-9;
+constexpr sim::Nanos kNoTimer = -1;
+}  // namespace
+
+LocalScheduler::LocalScheduler(nk::Kernel& kernel, std::uint32_t cpu,
+                               Config cfg)
+    : kernel_(kernel),
+      cpu_(cpu),
+      cfg_(cfg),
+      slop_(kernel.machine().spec().timer.apic_tick_ns + 1),
+      pending_(cfg.max_threads),
+      rt_run_(cfg.max_threads),
+      nonrt_(cfg.max_threads),
+      sleepers_(cfg.max_threads) {}
+
+void LocalScheduler::push_or_throw(nk::Thread* t) {
+  bool ok = false;
+  if (t->rt.in_pending) {
+    ok = pending_.push(t);
+  } else if (t->is_realtime() && t->rt.arrival_open) {
+    ok = rt_run_.push(t);
+  } else {
+    ok = nonrt_.push(t);
+  }
+  if (!ok) {
+    throw std::runtime_error("LocalScheduler: thread limit exceeded");
+  }
+}
+
+void LocalScheduler::open_arrival(nk::Thread* t) {
+  ++t->rt.arrivals;
+  t->rt.arrival_open = true;
+  t->rt.dispatched_this_arrival = false;
+  if (t->constraints.cls == ConstraintClass::kPeriodic) {
+    t->rt.deadline = t->rt.arrival + t->constraints.period;
+    t->rt.budget_left = t->constraints.slice;
+  } else {
+    // Sporadic: deadline fixed at admission; budget is the size.
+    t->rt.budget_left = t->constraints.size;
+  }
+}
+
+void LocalScheduler::close_arrival(nk::Thread* t, sim::Nanos now) {
+  t->rt.arrival_open = false;
+  ++t->rt.completions;
+  if (now > t->rt.deadline) {
+    ++t->rt.misses;
+    t->rt.miss_ns.add(static_cast<double>(now - t->rt.deadline));
+  }
+  if (t->constraints.cls == ConstraintClass::kPeriodic) {
+    // Next arrival is the current deadline; windows that already fully
+    // elapsed while we were serving this one late are skipped and counted
+    // as misses.
+    sim::Nanos next_arrival = t->rt.deadline;
+    while (next_arrival + t->constraints.period <= now + slop_) {
+      ++t->rt.arrivals;
+      ++t->rt.misses;
+      next_arrival += t->constraints.period;
+    }
+    t->rt.arrival = next_arrival;
+    t->rt.in_pending = true;
+    if (!pending_.push(t)) {
+      throw std::runtime_error("LocalScheduler: pending queue full");
+    }
+  } else {
+    // Sporadic threads continue as aperiodic with their tail priority
+    // (section 3.1).  The caller keeps the thread current; it is not queued.
+    sporadic_util_ -= t->rt.density;
+    if (sporadic_util_ < 0) sporadic_util_ = 0;
+    t->rt.density = 0.0;
+    t->constraints = Constraints::aperiodic(t->constraints.priority);
+  }
+}
+
+void LocalScheduler::pump(sim::Nanos now) {
+  while (!pending_.empty() && pending_.top()->rt.arrival <= now + slop_) {
+    nk::Thread* t = pending_.pop();
+    t->rt.in_pending = false;
+    open_arrival(t);
+    if (!rt_run_.push(t)) {
+      throw std::runtime_error("LocalScheduler: rt run queue full");
+    }
+  }
+  while (!sleepers_.empty() && sleepers_.top()->wake_time <= now + slop_) {
+    nk::Thread* t = sleepers_.pop();
+    t->state = nk::Thread::State::kReady;
+    t->rr_seq = ++rr_seq_counter_;
+    if (!nonrt_.push(t)) {
+      throw std::runtime_error("LocalScheduler: nonrt queue full");
+    }
+  }
+}
+
+nk::Thread* LocalScheduler::select_next(sim::Nanos now,
+                                        nk::PassReason reason) {
+  nk::Thread* cur = exec_->current();
+  const bool cur_runnable = cur != nullptr &&
+                            cur->state == nk::Thread::State::kRunning &&
+                            !cur->rt.in_pending;
+  lazy_wake_ = kNoTimer;
+
+  // Hard real-time first: EDF over the rt run queue and the current thread.
+  const bool cur_rt_open = cur_runnable && cur->is_realtime() &&
+                           cur->rt.arrival_open;
+  if (cur_rt_open) {
+    if (!rt_run_.empty() &&
+        rt_run_.top()->rt.deadline < cur->rt.deadline) {
+      nk::Thread* next = rt_run_.pop();
+      if (!rt_run_.push(cur)) {
+        throw std::runtime_error("LocalScheduler: rt run queue full");
+      }
+      return next;
+    }
+    return cur;
+  }
+  if (!rt_run_.empty()) {
+    nk::Thread* top = rt_run_.top();
+    if (!cfg_.eager && cur_runnable && !cur->is_idle) {
+      // Lazy (non-work-conserving) variant: delay the switch to the latest
+      // start that still meets the deadline, leaving margin only for the
+      // *predictable* overheads (two scheduler invocations).  Missing time
+      // is unpredictable by definition, so it is not in the margin — which
+      // is exactly why this variant is SMI-fragile (section 3.6 ablation).
+      const auto& cost = kernel_.machine().spec().cost;
+      const sim::Nanos margin =
+          kernel_.machine().spec().freq.cycles_to_ns_ceil(
+              2 * (cost.irq_dispatch + cost.sched_pass_base +
+                   cost.context_switch + cost.sched_other));
+      const sim::Nanos latest_start =
+          top->rt.deadline - top->rt.budget_left - margin;
+      if (now < latest_start) {
+        lazy_wake_ = latest_start;
+        return cur;
+      }
+    }
+    nk::Thread* next = rt_run_.pop();
+    if (cur_runnable && !cur->is_idle) {
+      cur->rr_seq = ++rr_seq_counter_;
+      if (!nonrt_.push(cur)) {
+        throw std::runtime_error("LocalScheduler: nonrt queue full");
+      }
+    }
+    return next;
+  }
+
+  // Aperiodic: priority order, round-robin within a priority.
+  if (cur_runnable && !cur->is_idle &&
+      cur->constraints.cls == ConstraintClass::kAperiodic) {
+    if (nonrt_.empty()) return cur;
+    nk::Thread* top = nonrt_.top();
+    const bool higher = top->constraints.priority < cur->constraints.priority;
+    const bool quantum_expired =
+        (reason == nk::PassReason::kTimer || reason == nk::PassReason::kKick)
+            ? (now - quantum_start_) >= cfg_.aperiodic_quantum
+            : reason == nk::PassReason::kYield;
+    const bool rotate = quantum_expired &&
+                        top->constraints.priority <= cur->constraints.priority;
+    if (higher || rotate) {
+      nk::Thread* next = nonrt_.pop();
+      cur->rr_seq = ++rr_seq_counter_;
+      if (!nonrt_.push(cur)) {
+        throw std::runtime_error("LocalScheduler: nonrt queue full");
+      }
+      ++stats_.rr_rotations;
+      return next;
+    }
+    return cur;
+  }
+  if (!nonrt_.empty()) return nonrt_.pop();
+  if (cur_runnable) return cur;  // idle keeps running
+  return kernel_.idle_thread(cpu_);
+}
+
+nk::PassResult LocalScheduler::pass(nk::PassReason reason, sim::Nanos now) {
+  ++stats_.passes;
+  if (reason == nk::PassReason::kTimer) ++stats_.timer_passes;
+  if (reason == nk::PassReason::kKick) ++stats_.kick_passes;
+
+  pump(now);
+
+  // Account the current thread's real-time state.  The executor has already
+  // charged its run span into budget_left.
+  nk::Thread* cur = exec_->current();
+  if (cur != nullptr && cur->is_realtime() && cur->rt.arrival_open &&
+      cur->state == nk::Thread::State::kRunning && cur->rt.budget_left <= 0) {
+    close_arrival(cur, now);
+  }
+
+  nk::Thread* next = select_next(now, reason);
+  if (next != cur) quantum_start_ = now;
+
+  nk::PassResult result;
+  result.next = next;
+
+  // Sized tasks run directly by the scheduler, but never when they could
+  // delay a real-time thread (section 3.1).
+  if (!sized_tasks_.empty() && (next == nullptr || !next->is_realtime())) {
+    sim::Nanos window = pending_.empty()
+                            ? sim::seconds(3600)
+                            : pending_.top()->rt.arrival - now;
+    while (!sized_tasks_.empty() &&
+           result.task_ns + sized_tasks_.front().size + slop_ <= window) {
+      result.task_ns += sized_tasks_.front().size;
+      result.task_callbacks.push_back(std::move(sized_tasks_.front().fn));
+      sized_tasks_.pop_front();
+      ++stats_.tasks_inline;
+    }
+  }
+
+  const auto n = static_cast<sim::Cycles>(thread_count());
+  const auto& cost = kernel_.machine().spec().cost;
+  result.pass_cycles = cost.sched_pass_base + cost.sched_pass_per_thread * n;
+  return result;
+}
+
+void LocalScheduler::arm_timer(sim::Nanos now) {
+  sim::Nanos next = kNoTimer;
+  auto consider = [&next](sim::Nanos t) {
+    if (t >= 0 && (next < 0 || t < next)) next = t;
+  };
+
+  nk::Thread* cur = exec_->current();
+  if (cur != nullptr && cur->is_realtime() && cur->rt.arrival_open &&
+      cur->state == nk::Thread::State::kRunning) {
+    const sim::Nanos budget =
+        cur->rt.budget_left > 0 ? cur->rt.budget_left : 0;
+    // Budget enforcement rounds *up* by one tick: the constraint guarantees
+    // *at least* sigma, so firing a tick late here is correct — whereas
+    // firing early would burn an extra scheduler pass re-arming for the
+    // residual few nanoseconds of budget.  Arrivals/deadlines keep the
+    // conservative early-never-late rule (handled by the APIC floor
+    // quantization plus the pump slop).
+    consider(now + budget + slop_);
+  }
+  if (!pending_.empty()) consider(pending_.top()->rt.arrival);
+  if (!sleepers_.empty()) consider(sleepers_.top()->wake_time);
+  if (lazy_wake_ >= 0) consider(lazy_wake_);
+  if (cur != nullptr && !cur->is_realtime() && !nonrt_.empty()) {
+    consider(quantum_start_ + cfg_.aperiodic_quantum);
+  }
+  // Safety net: if RT work is queued but not current (e.g. the lazy
+  // variant is holding), make sure a pass happens by its deadline.
+  if (!rt_run_.empty() &&
+      (cur == nullptr || !cur->is_realtime())) {
+    consider(rt_run_.top()->rt.deadline);
+  }
+
+  auto& apic = kernel_.machine().cpu(cpu_).apic();
+  if (next < 0) {
+    apic.cancel();
+    return;
+  }
+  sim::Nanos delay = next - now;
+  if (delay < 0) delay = 0;
+  apic.arm_oneshot(delay);
+}
+
+bool LocalScheduler::admit_check(nk::Thread& t, const Constraints& c) const {
+  if (!cfg_.admission_enabled) return true;
+  const double avail = available_rt_utilization();
+  switch (c.cls) {
+    case ConstraintClass::kAperiodic:
+      return true;  // aperiodic admission cannot fail (section 3.2)
+    case ConstraintClass::kPeriodic: {
+      if (c.period < cfg_.min_period || c.slice < cfg_.min_slice) {
+        return false;
+      }
+      const auto set = periodic_tasks_with(&t, &c);
+      switch (cfg_.policy) {
+        case AdmissionPolicy::kEdf:
+          return edf_admissible(set, avail);
+        case AdmissionPolicy::kRmLl:
+          return rm_ll_admissible(set, avail);
+        case AdmissionPolicy::kRmRta:
+          return rm_rta_admissible(set, avail);
+        case AdmissionPolicy::kSimulation: {
+          SimAdmissionConfig sc;
+          const auto& spec = kernel_.machine().spec();
+          sc.per_invocation_overhead = spec.freq.cycles_to_ns_ceil(
+              spec.cost.irq_dispatch + spec.cost.sched_pass_base +
+              spec.cost.context_switch + spec.cost.sched_other);
+          return simulate_edf_admission(set, sc).admissible;
+        }
+      }
+      return false;
+    }
+    case ConstraintClass::kSporadic: {
+      if (c.size < cfg_.min_slice) return false;
+      const double density = c.utilization();
+      double current =
+          sporadic_util_ - (t.constraints.cls == ConstraintClass::kSporadic
+                                ? t.rt.density
+                                : 0.0);
+      for (const auto& [rthread, rc] : reservations_) {
+        if (rthread != &t && rc.cls == ConstraintClass::kSporadic) {
+          current += rc.utilization();
+        }
+      }
+      return current + density <= cfg_.sporadic_reservation + kEps;
+    }
+  }
+  return false;
+}
+
+std::vector<PeriodicTask> LocalScheduler::periodic_tasks_with(
+    const nk::Thread* exclude, const Constraints* extra) const {
+  std::vector<PeriodicTask> set;
+  for (const nk::Thread* p : periodic_set_) {
+    if (p == exclude) continue;
+    set.push_back(PeriodicTask{p->constraints.period, p->constraints.slice,
+                               p->constraints.phase});
+  }
+  for (const auto& [rt, rc] : reservations_) {
+    if (rt == exclude) continue;
+    if (rc.cls == ConstraintClass::kPeriodic) {
+      set.push_back(PeriodicTask{rc.period, rc.slice, rc.phase});
+    }
+  }
+  if (extra != nullptr && extra->cls == ConstraintClass::kPeriodic) {
+    set.push_back(PeriodicTask{extra->period, extra->slice, extra->phase});
+  }
+  return set;
+}
+
+bool LocalScheduler::reserve_constraints(nk::Thread& t, const Constraints& c) {
+  cancel_reservation(t);
+  if (!c.well_formed() || !admit_check(t, c)) {
+    ++stats_.admissions_rejected;
+    return false;
+  }
+  ++stats_.admissions_ok;
+  reservations_.emplace_back(&t, c);
+  return true;
+}
+
+void LocalScheduler::cancel_reservation(nk::Thread& t) {
+  for (auto it = reservations_.begin(); it != reservations_.end(); ++it) {
+    if (it->first == &t) {
+      reservations_.erase(it);
+      return;
+    }
+  }
+}
+
+bool LocalScheduler::has_reservation(const nk::Thread& t) const {
+  for (const auto& [rt, rc] : reservations_) {
+    if (rt == &t) return true;
+  }
+  return false;
+}
+
+void LocalScheduler::detach_bookkeeping(nk::Thread* t) {
+  pending_.remove(t);
+  rt_run_.remove(t);
+  nonrt_.remove(t);
+  sleepers_.remove(t);
+  if (t->constraints.cls == ConstraintClass::kPeriodic) {
+    auto it = std::find(periodic_set_.begin(), periodic_set_.end(), t);
+    if (it != periodic_set_.end()) {
+      admitted_periodic_util_ -= t->constraints.utilization();
+      if (admitted_periodic_util_ < 0) admitted_periodic_util_ = 0;
+      periodic_set_.erase(it);
+    }
+  }
+  if (t->constraints.cls == ConstraintClass::kSporadic && t->rt.density > 0) {
+    sporadic_util_ -= t->rt.density;
+    if (sporadic_util_ < 0) sporadic_util_ = 0;
+  }
+  t->rt.in_pending = false;
+}
+
+bool LocalScheduler::change_constraints(nk::Thread& t, const Constraints& c,
+                                        sim::Nanos gamma) {
+  // A reservation made during group admission is consumed (released) here;
+  // the admission test below then re-admits the same demand.
+  cancel_reservation(t);
+  if (!c.well_formed() || !admit_check(t, c)) {
+    ++stats_.admissions_rejected;
+    return false;
+  }
+  ++stats_.admissions_ok;
+  detach_bookkeeping(&t);
+  t.constraints = c;
+  t.rt = nk::Thread::RtState{};
+  t.rt.gamma = gamma;
+  switch (c.cls) {
+    case ConstraintClass::kAperiodic: {
+      if (&t != exec_->current()) {
+        t.rr_seq = ++rr_seq_counter_;
+        if (!nonrt_.push(&t)) {
+          throw std::runtime_error("LocalScheduler: nonrt queue full");
+        }
+      }
+      break;
+    }
+    case ConstraintClass::kPeriodic: {
+      admitted_periodic_util_ += c.utilization();
+      periodic_set_.push_back(&t);
+      t.rt.arrival = gamma + c.phase;
+      t.rt.in_pending = true;
+      if (!pending_.push(&t)) {
+        throw std::runtime_error("LocalScheduler: pending queue full");
+      }
+      break;
+    }
+    case ConstraintClass::kSporadic: {
+      t.rt.density = c.utilization();
+      sporadic_util_ += t.rt.density;
+      t.rt.arrival = gamma + c.phase;
+      t.rt.deadline = gamma + c.deadline_offset;
+      t.rt.in_pending = true;
+      if (!pending_.push(&t)) {
+        throw std::runtime_error("LocalScheduler: pending queue full");
+      }
+      break;
+    }
+  }
+  return true;
+}
+
+sim::Cycles LocalScheduler::admission_cost_cycles(const nk::Thread& t,
+                                                  const Constraints&) const {
+  const auto& cost = kernel_.machine().spec().cost;
+  // Committing an existing reservation skips the analysis: the utilization
+  // was already accounted during group admission, so only the class switch
+  // and queue moves remain.
+  if (has_reservation(t)) return cost.admission_control / 20;
+  return cost.admission_control;
+}
+
+void LocalScheduler::enqueue(nk::Thread* t) {
+  if (t->is_realtime()) {
+    throw std::logic_error(
+        "LocalScheduler: only aperiodic threads may be enqueued directly");
+  }
+  t->state = nk::Thread::State::kReady;
+  t->rr_seq = ++rr_seq_counter_;
+  if (!nonrt_.push(t)) {
+    throw std::runtime_error("LocalScheduler: nonrt queue full");
+  }
+}
+
+void LocalScheduler::on_sleep(nk::Thread& t, sim::Nanos wake_local) {
+  t.wake_time = wake_local;
+  if (!sleepers_.push(&t)) {
+    throw std::runtime_error("LocalScheduler: sleep queue full");
+  }
+}
+
+void LocalScheduler::on_exit(nk::Thread& t) { detach_bookkeeping(&t); }
+
+bool LocalScheduler::try_wake(nk::Thread& t) {
+  if (t.state != nk::Thread::State::kSleeping) return false;
+  if (!sleepers_.remove(&t)) return false;
+  t.state = nk::Thread::State::kReady;
+  t.rr_seq = ++rr_seq_counter_;
+  if (!nonrt_.push(&t)) {
+    throw std::runtime_error("LocalScheduler: nonrt queue full");
+  }
+  return true;
+}
+
+void LocalScheduler::submit_task(nk::Task task) {
+  auto& q = task.size >= 0 ? sized_tasks_ : unsized_tasks_;
+  if (q.size() >= cfg_.max_tasks) {
+    throw std::runtime_error("LocalScheduler: task queue full");
+  }
+  q.push_back(std::move(task));
+}
+
+nk::Task LocalScheduler::pop_unsized_task() {
+  if (unsized_tasks_.empty()) {
+    throw std::logic_error("LocalScheduler: no unsized task");
+  }
+  nk::Task t = std::move(unsized_tasks_.front());
+  unsized_tasks_.pop_front();
+  return t;
+}
+
+std::size_t LocalScheduler::stealable_count() const {
+  std::size_t n = 0;
+  nonrt_.for_each([&n](const nk::Thread* t) {
+    if (!t->bound && !t->is_idle) ++n;
+  });
+  return n;
+}
+
+nk::Thread* LocalScheduler::try_steal() {
+  return nonrt_.extract_if(
+      [](const nk::Thread* t) { return !t->bound && !t->is_idle; });
+}
+
+std::size_t LocalScheduler::thread_count() const {
+  return pending_.size() + rt_run_.size() + nonrt_.size() + sleepers_.size() +
+         (exec_ != nullptr && exec_->current() != nullptr ? 1 : 0);
+}
+
+nk::Kernel::SchedulerFactory make_scheduler_factory(
+    LocalScheduler::Config cfg) {
+  return [cfg](nk::Kernel& k, std::uint32_t cpu) {
+    return std::make_unique<LocalScheduler>(k, cpu, cfg);
+  };
+}
+
+}  // namespace hrt::rt

@@ -1,0 +1,186 @@
+// The hard real-time local scheduler (section 3).
+//
+// One instance drives each CPU.  At its base it is a simple *eager* earliest
+// deadline first engine with three queues:
+//   * pending:   admitted RT threads waiting for their next arrival time
+//   * rt run:    RT threads with an open arrival, ordered by deadline (EDF)
+//   * non-rt run: aperiodic threads, priority + round-robin
+// plus a sleep queue and the lightweight task queues.
+//
+// It is invoked only on a timer interrupt, a kick IPI from another local
+// scheduler, or by a small set of current-thread actions (sleep, yield,
+// exit, change constraints).  Every invocation is bounded: the queues have
+// fixed capacity and the pass cost model charges base + per-thread work.
+//
+// Eagerness (section 3.6): a runnable real-time thread is switched to
+// immediately, never delayed to the latest feasible start, so that SMI
+// missing time striking mid-slice rarely pushes completion past the
+// deadline.  The lazy variant is retained behind a config flag for the
+// ablation benchmark.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "nautilus/kernel.hpp"
+#include "nautilus/scheduler.hpp"
+#include "nautilus/thread.hpp"
+#include "rt/admission.hpp"
+#include "rt/constraints.hpp"
+#include "rt/queues.hpp"
+
+namespace hrt::rt {
+
+enum class AdmissionPolicy : std::uint8_t {
+  kEdf,         // utilization test against the configured limit
+  kRmLl,        // Liu-Layland rate-monotonic bound
+  kRmRta,       // exact response-time analysis
+  kSimulation,  // hyperperiod simulation prototype (section 3.2)
+};
+
+class LocalScheduler final : public nk::SchedulerBase {
+ public:
+  struct Config {
+    // Paper's default configuration (section 5.1): 99% utilization limit,
+    // 10% sporadic reservation, 10% aperiodic reservation, aperiodic
+    // round-robin at 10 Hz.
+    double utilization_limit = 0.99;
+    double sporadic_reservation = 0.10;
+    double aperiodic_reservation = 0.10;
+    sim::Nanos aperiodic_quantum = sim::millis(100);
+    AdmissionPolicy policy = AdmissionPolicy::kEdf;
+    bool admission_enabled = true;  // figures 6-9 turn this off
+    bool eager = true;              // ablation: lazy EDF when false
+    std::size_t max_threads = 1024;
+    std::size_t max_tasks = 4096;
+    // Bounds on requestable constraints (section 3.3: "Bounds are also
+    // placed on the granularity and minimum size of the timing
+    // constraints"), enforced only when admission is enabled.
+    sim::Nanos min_period = sim::micros(1);
+    sim::Nanos min_slice = sim::micros(1);
+  };
+
+  struct Stats {
+    std::uint64_t passes = 0;
+    std::uint64_t timer_passes = 0;
+    std::uint64_t kick_passes = 0;
+    std::uint64_t admissions_ok = 0;
+    std::uint64_t admissions_rejected = 0;
+    std::uint64_t tasks_inline = 0;
+    std::uint64_t rr_rotations = 0;
+  };
+
+  LocalScheduler(nk::Kernel& kernel, std::uint32_t cpu, Config cfg);
+
+  // --- nk::SchedulerBase ---
+  void attach(nk::CpuExecutor* exec) override { exec_ = exec; }
+  nk::PassResult pass(nk::PassReason reason, sim::Nanos now) override;
+  void arm_timer(sim::Nanos now) override;
+  bool change_constraints(nk::Thread& t, const Constraints& c,
+                          sim::Nanos gamma) override;
+  [[nodiscard]] sim::Cycles admission_cost_cycles(
+      const nk::Thread& t, const Constraints& c) const override;
+  void enqueue(nk::Thread* t) override;
+  void on_sleep(nk::Thread& t, sim::Nanos wake_local) override;
+  void on_exit(nk::Thread& t) override;
+  bool try_wake(nk::Thread& t) override;
+  void submit_task(nk::Task task) override;
+  [[nodiscard]] std::size_t stealable_count() const override;
+  nk::Thread* try_steal() override;
+  [[nodiscard]] std::size_t thread_count() const override;
+  [[nodiscard]] double admitted_utilization() const override {
+    return admitted_periodic_util_ + sporadic_util_;
+  }
+
+  // --- introspection ---
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+  [[nodiscard]] std::size_t rt_run_count() const { return rt_run_.size(); }
+  [[nodiscard]] std::size_t nonrt_count() const { return nonrt_.size(); }
+  [[nodiscard]] double available_rt_utilization() const {
+    return cfg_.utilization_limit - cfg_.sporadic_reservation -
+           cfg_.aperiodic_reservation;
+  }
+  /// Unsized-task access for the task-exec helper thread.
+  [[nodiscard]] bool has_unsized_task() const {
+    return !unsized_tasks_.empty();
+  }
+  nk::Task pop_unsized_task();
+
+  // --- two-phase admission for group scheduling (section 4.4) ---
+  // During group admission the requesting thread must stay aperiodic (it
+  // still has barriers and the phase-correction step to execute), so the
+  // utilization is reserved first and the class switch happens at the final
+  // change_constraints.  change_constraints consumes a matching reservation
+  // automatically.
+  [[nodiscard]] bool reserve_constraints(nk::Thread& t, const Constraints& c);
+  void cancel_reservation(nk::Thread& t);
+  [[nodiscard]] bool has_reservation(const nk::Thread& t) const;
+
+ private:
+  struct ArrivalBefore {
+    bool operator()(const nk::Thread* a, const nk::Thread* b) const {
+      return a->rt.arrival < b->rt.arrival;
+    }
+  };
+  struct DeadlineBefore {
+    bool operator()(const nk::Thread* a, const nk::Thread* b) const {
+      return a->rt.deadline < b->rt.deadline;
+    }
+  };
+  struct AperBefore {
+    bool operator()(const nk::Thread* a, const nk::Thread* b) const {
+      if (a->constraints.priority != b->constraints.priority) {
+        return a->constraints.priority < b->constraints.priority;
+      }
+      return a->rr_seq < b->rr_seq;
+    }
+  };
+  struct WakeBefore {
+    bool operator()(const nk::Thread* a, const nk::Thread* b) const {
+      return a->wake_time < b->wake_time;
+    }
+  };
+
+  void pump(sim::Nanos now);
+  void open_arrival(nk::Thread* t);
+  void close_arrival(nk::Thread* t, sim::Nanos now);
+  nk::Thread* select_next(sim::Nanos now, nk::PassReason reason);
+  void detach_bookkeeping(nk::Thread* t);
+  [[nodiscard]] bool admit_check(nk::Thread& t, const Constraints& c) const;
+  [[nodiscard]] std::vector<PeriodicTask> periodic_tasks_with(
+      const nk::Thread* exclude, const Constraints* extra) const;
+  void push_or_throw(nk::Thread* t);
+
+  nk::Kernel& kernel_;
+  std::uint32_t cpu_;
+  Config cfg_;
+  nk::CpuExecutor* exec_ = nullptr;
+  sim::Nanos slop_;  // timer earliness tolerance (one APIC tick)
+
+  BoundedHeap<nk::Thread*, ArrivalBefore> pending_;
+  BoundedHeap<nk::Thread*, DeadlineBefore> rt_run_;
+  BoundedHeap<nk::Thread*, AperBefore> nonrt_;
+  BoundedHeap<nk::Thread*, WakeBefore> sleepers_;
+  std::vector<nk::Thread*> periodic_set_;  // admitted periodic threads
+
+  std::deque<nk::Task> sized_tasks_;
+  std::deque<nk::Task> unsized_tasks_;
+  std::vector<std::pair<nk::Thread*, Constraints>> reservations_;
+
+  double admitted_periodic_util_ = 0.0;
+  double sporadic_util_ = 0.0;
+  std::uint64_t rr_seq_counter_ = 0;
+  sim::Nanos quantum_start_ = 0;
+  sim::Nanos lazy_wake_ = -1;  // lazy mode: scheduled latest-start wakeup
+
+  Stats stats_;
+};
+
+/// Factory for Kernel::Options.
+[[nodiscard]] nk::Kernel::SchedulerFactory make_scheduler_factory(
+    LocalScheduler::Config cfg);
+
+}  // namespace hrt::rt

@@ -1,0 +1,121 @@
+// Fixed-capacity binary heap.
+//
+// "The maximum number of threads in the whole system is determined at
+// compile time, each local scheduler uses fixed size priority queues ...
+// As a result, the time spent in a local scheduler invocation is bounded"
+// (section 3.3).  The heap never allocates after construction; push beyond
+// capacity fails explicitly.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace hrt::rt {
+
+/// Before(a, b) == true means a is dequeued before b.
+template <typename T, typename Before>
+class BoundedHeap {
+ public:
+  explicit BoundedHeap(std::size_t capacity, Before before = Before())
+      : capacity_(capacity), before_(std::move(before)) {
+    heap_.reserve(capacity);
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Returns false when full.
+  [[nodiscard]] bool push(T v) {
+    if (heap_.size() >= capacity_) return false;
+    heap_.push_back(std::move(v));
+    sift_up(heap_.size() - 1);
+    return true;
+  }
+
+  [[nodiscard]] const T& top() const {
+    if (heap_.empty()) throw std::logic_error("BoundedHeap: top of empty");
+    return heap_.front();
+  }
+
+  T pop() {
+    if (heap_.empty()) throw std::logic_error("BoundedHeap: pop of empty");
+    T out = std::move(heap_.front());
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    return out;
+  }
+
+  /// Remove a specific element (linear scan).  Returns false if absent.
+  bool remove(const T& v) {
+    for (std::size_t i = 0; i < heap_.size(); ++i) {
+      if (heap_[i] == v) {
+        remove_at(i);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Remove and return the first element satisfying pred (heap order scan),
+  /// or a default-constructed T if none matches.
+  template <typename Pred>
+  T extract_if(Pred pred) {
+    for (std::size_t i = 0; i < heap_.size(); ++i) {
+      if (pred(heap_[i])) {
+        T out = std::move(heap_[i]);
+        remove_at(i);
+        return out;
+      }
+    }
+    return T{};
+  }
+
+  template <typename Fn>
+  void for_each(Fn fn) const {
+    for (const T& v : heap_) fn(v);
+  }
+
+  void clear() { heap_.clear(); }
+
+ private:
+  void remove_at(std::size_t i) {
+    heap_[i] = std::move(heap_.back());
+    heap_.pop_back();
+    if (i < heap_.size()) {
+      sift_down(i);
+      sift_up(i);
+    }
+  }
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!before_(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    for (;;) {
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = 2 * i + 2;
+      std::size_t best = i;
+      if (l < heap_.size() && before_(heap_[l], heap_[best])) best = l;
+      if (r < heap_.size() && before_(heap_[r], heap_[best])) best = r;
+      if (best == i) break;
+      std::swap(heap_[i], heap_[best]);
+      i = best;
+    }
+  }
+
+  std::size_t capacity_;
+  Before before_;
+  std::vector<T> heap_;
+};
+
+}  // namespace hrt::rt

@@ -1,0 +1,95 @@
+#include "rt/report.hpp"
+
+#include <iomanip>
+
+namespace hrt::rt {
+
+namespace {
+
+const char* class_name(ConstraintClass cls) {
+  switch (cls) {
+    case ConstraintClass::kAperiodic:
+      return "aperiodic";
+    case ConstraintClass::kPeriodic:
+      return "periodic";
+    case ConstraintClass::kSporadic:
+      return "sporadic";
+  }
+  return "?";
+}
+
+const char* state_name(nk::Thread::State s) {
+  switch (s) {
+    case nk::Thread::State::kReady:
+      return "ready";
+    case nk::Thread::State::kRunning:
+      return "running";
+    case nk::Thread::State::kSleeping:
+      return "sleeping";
+    case nk::Thread::State::kExited:
+      return "exited";
+    case nk::Thread::State::kPooled:
+      return "pooled";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void print_cpu_report(System& sys, std::ostream& os,
+                      const ReportOptions& opt) {
+  os << "cpu   passes  timer   kick  switch  adm-ok adm-rej  util   "
+        "pend rtq  apq  pass-cyc\n";
+  for (std::uint32_t c = 0; c < sys.kernel().num_cpus(); ++c) {
+    auto& sched = sys.sched(c);
+    const auto& st = sched.stats();
+    const auto& oh = sys.kernel().executor(c).overheads();
+    if (opt.skip_quiet_cpus && st.passes < 2) continue;
+    os << std::setw(3) << c << std::setw(9) << st.passes << std::setw(7)
+       << st.timer_passes << std::setw(7) << st.kick_passes << std::setw(8)
+       << oh.switches << std::setw(8) << st.admissions_ok << std::setw(8)
+       << st.admissions_rejected << std::setw(7) << std::fixed
+       << std::setprecision(2) << sched.admitted_utilization()
+       << std::setw(6) << sched.pending_count() << std::setw(5)
+       << sched.rt_run_count() << std::setw(5) << sched.nonrt_count()
+       << std::setw(10) << std::setprecision(0) << oh.pass.mean() << "\n";
+  }
+}
+
+void print_thread_report(System& sys, std::ostream& os,
+                         const ReportOptions& opt) {
+  os << "id    name           cpu class      state     arriv   compl  "
+        "miss     cpu-ms  disp\n";
+  sys.sync_accounting();
+  for (const nk::Thread* t : sys.kernel().live_threads()) {
+    if (t->is_idle && !opt.include_idle_threads) continue;
+    if (t->state == nk::Thread::State::kPooled &&
+        !opt.include_pooled_threads) {
+      continue;
+    }
+    os << std::setw(4) << t->id << "  " << std::setw(13) << std::left
+       << t->name << std::right << std::setw(4) << t->cpu << " "
+       << std::setw(10) << std::left << class_name(t->constraints.cls)
+       << std::setw(9) << state_name(t->state) << std::right << std::setw(8)
+       << t->rt.arrivals << std::setw(8) << t->rt.completions << std::setw(6)
+       << t->rt.misses << std::setw(11) << std::fixed << std::setprecision(3)
+       << static_cast<double>(t->total_cpu_ns) / 1e6 << std::setw(6)
+       << t->dispatches << "\n";
+  }
+}
+
+void print_report(System& sys, std::ostream& os, const ReportOptions& opt) {
+  os << "=== machine: " << sys.machine().spec().name << ", "
+     << sys.machine().num_cpus() << " CPUs @ " << std::fixed
+     << std::setprecision(1) << sys.machine().spec().freq.ghz()
+     << " GHz ===\n";
+  os << "now=" << sys.engine().now() << " ns  events="
+     << sys.engine().events_executed() << "  smis="
+     << sys.machine().smi().count() << " (stole "
+     << sys.machine().smi().total_stolen() / 1000 << " us)\n\n";
+  print_cpu_report(sys, os, opt);
+  os << "\n";
+  print_thread_report(sys, os, opt);
+}
+
+}  // namespace hrt::rt

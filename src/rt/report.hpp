@@ -1,0 +1,34 @@
+// Human-readable scheduling reports: per-CPU scheduler statistics and a
+// per-thread timing table.  Examples and interactive tools use this the way
+// an operator would use a /proc interface on the real system.
+#pragma once
+
+#include <ostream>
+
+#include "rt/system.hpp"
+
+namespace hrt::rt {
+
+struct ReportOptions {
+  bool include_idle_threads = false;
+  bool include_pooled_threads = false;
+  /// Only report CPUs whose scheduler has seen at least one pass beyond
+  /// boot (quiet CPUs add noise on a 256-CPU machine).
+  bool skip_quiet_cpus = true;
+};
+
+/// Per-CPU table: passes (timer/kick), switches, admissions, admitted
+/// utilization, queue depths, overhead means.
+void print_cpu_report(System& sys, std::ostream& os,
+                      const ReportOptions& opt = {});
+
+/// Per-thread table: class, constraints, arrivals/completions/misses,
+/// CPU time, dispatches.
+void print_thread_report(System& sys, std::ostream& os,
+                         const ReportOptions& opt = {});
+
+/// Both, plus machine-level counters (SMIs, events).
+void print_report(System& sys, std::ostream& os,
+                  const ReportOptions& opt = {});
+
+}  // namespace hrt::rt

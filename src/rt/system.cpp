@@ -1,0 +1,23 @@
+#include "rt/system.hpp"
+
+namespace hrt {
+
+System::System() : System(Options{}) {}
+
+System::System(Options options) : options_(std::move(options)) {
+  hw::MachineSpec spec = options_.spec;
+  if (!options_.smi_enabled) spec.smi.enabled = false;
+  machine_ = std::make_unique<hw::Machine>(spec, options_.seed);
+
+  nk::Kernel::Options ko;
+  ko.scheduler_factory = rt::make_scheduler_factory(options_.sched);
+  ko.work_stealing = options_.work_stealing;
+  ko.interrupt_laden_cpus = options_.interrupt_laden_cpus;
+  ko.tpr_steering = options_.tpr_steering;
+  ko.calibrate_tsc = options_.calibrate_tsc;
+  ko.start_smi_source = true;  // no-op when the spec disables SMIs
+  kernel_ = std::make_unique<nk::Kernel>(*machine_, std::move(ko));
+  groups_ = std::make_unique<grp::GroupRegistry>(*kernel_);
+}
+
+}  // namespace hrt

@@ -1,0 +1,87 @@
+// System: the public facade tying together the simulated machine, the
+// Nautilus-model kernel, and the hard real-time scheduler.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   hrt::System sys;                     // Xeon Phi spec, default config
+//   sys.boot();
+//   auto* t = sys.spawn("worker", behavior, /*cpu=*/1);
+//   // the behavior requests periodic constraints via
+//   // Action::change_constraints(Constraints::periodic(phi, tau, sigma));
+//   sys.run_for(sim::millis(100));
+//   // inspect t->rt.arrivals / misses / miss_ns ...
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "group/group.hpp"
+#include "hw/machine.hpp"
+#include "nautilus/kernel.hpp"
+#include "rt/local_scheduler.hpp"
+
+namespace hrt {
+
+class System {
+ public:
+  struct Options {
+    hw::MachineSpec spec = hw::MachineSpec::phi();
+    std::uint64_t seed = 42;
+    rt::LocalScheduler::Config sched{};
+    bool work_stealing = false;
+    std::uint32_t interrupt_laden_cpus = 1;
+    bool tpr_steering = true;
+    bool calibrate_tsc = true;
+    bool smi_enabled = true;  // overrides spec.smi.enabled when false
+  };
+
+  System();  // Xeon Phi spec, default scheduler config
+  explicit System(Options options);
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  /// Boot the kernel (idempotent guard inside the kernel).
+  void boot() { kernel_->boot(); }
+
+  [[nodiscard]] hw::Machine& machine() { return *machine_; }
+  [[nodiscard]] nk::Kernel& kernel() { return *kernel_; }
+  [[nodiscard]] sim::Engine& engine() { return machine_->engine(); }
+  [[nodiscard]] grp::GroupRegistry& groups() { return *groups_; }
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  /// The concrete hard real-time scheduler on `cpu`.
+  [[nodiscard]] rt::LocalScheduler& sched(std::uint32_t cpu) {
+    return static_cast<rt::LocalScheduler&>(kernel_->scheduler(cpu));
+  }
+
+  /// Create an aperiodic thread bound to `cpu`.
+  nk::Thread* spawn(std::string name, std::unique_ptr<nk::Behavior> behavior,
+                    std::uint32_t cpu,
+                    rt::AperiodicPriority priority = rt::kDefaultPriority) {
+    return kernel_->create_thread(std::move(name), std::move(behavior), cpu,
+                                  priority);
+  }
+
+  /// Advance the simulation.
+  void run_for(sim::Nanos d) { engine().run_until(engine().now() + d); }
+  void run_until(sim::Nanos t) { engine().run_until(t); }
+
+  /// Charge every CPU's open run span so per-thread CPU-time statistics are
+  /// current as of now().  Call before reading Thread::total_cpu_ns for a
+  /// thread that may still be running.
+  void sync_accounting() {
+    for (std::uint32_t c = 0; c < kernel_->num_cpus(); ++c) {
+      kernel_->executor(c).sync_run_span();
+    }
+  }
+
+ private:
+  Options options_;
+  std::unique_ptr<hw::Machine> machine_;
+  std::unique_ptr<nk::Kernel> kernel_;
+  std::unique_ptr<grp::GroupRegistry> groups_;
+};
+
+}  // namespace hrt

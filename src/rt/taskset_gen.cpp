@@ -1,0 +1,50 @@
+#include "rt/taskset_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hrt::rt {
+
+std::vector<double> uunifast(std::size_t n, double total, sim::Rng& rng) {
+  std::vector<double> u(n, 0.0);
+  if (n == 0) return u;
+  double sum = total;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    // next_sum = sum * r^(1/(n-i-1)) keeps the remaining mass uniform.
+    const double r = rng.next_double();
+    const double next_sum =
+        sum * std::pow(r, 1.0 / static_cast<double>(n - i - 1));
+    u[i] = sum - next_sum;
+    sum = next_sum;
+  }
+  u[n - 1] = sum;
+  return u;
+}
+
+std::vector<PeriodicTask> generate_taskset(const TaskSetParams& params,
+                                           sim::Rng& rng) {
+  const std::vector<double> utils =
+      uunifast(params.n, params.total_utilization, rng);
+  std::vector<PeriodicTask> set;
+  set.reserve(params.n);
+  const double log_lo = std::log(static_cast<double>(params.min_period));
+  const double log_hi = std::log(static_cast<double>(params.max_period));
+  for (std::size_t i = 0; i < params.n; ++i) {
+    double period_d =
+        std::exp(log_lo + (log_hi - log_lo) * rng.next_double());
+    auto period = static_cast<sim::Nanos>(period_d);
+    if (params.period_granule > 0) {
+      period = std::max(params.period_granule,
+                        period / params.period_granule *
+                            params.period_granule);
+    }
+    auto slice = static_cast<sim::Nanos>(static_cast<double>(period) *
+                                         utils[i]);
+    if (slice < params.min_slice) slice = params.min_slice;
+    if (slice > period) slice = period;
+    set.push_back(PeriodicTask{period, slice, 0});
+  }
+  return set;
+}
+
+}  // namespace hrt::rt

@@ -1,0 +1,42 @@
+// Random periodic task-set generation for admission-control evaluation.
+//
+// Implements the standard UUniFast algorithm (Bini & Buttazzo): draw n
+// per-task utilizations summing exactly to a target U, unbiased over the
+// simplex, then attach periods drawn log-uniformly from a range.  Used by
+// the admission-accuracy benchmark and the property tests ("random feasible
+// sets never miss").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rt/admission.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace hrt::rt {
+
+struct TaskSetParams {
+  std::size_t n = 4;
+  double total_utilization = 0.5;
+  sim::Nanos min_period = sim::micros(100);
+  sim::Nanos max_period = sim::millis(10);
+  /// Round periods to a multiple of this, keeping hyperperiods tractable
+  /// for the simulation-based admission test.  0 = no rounding.
+  sim::Nanos period_granule = sim::micros(100);
+  /// Floor on slices, matching the scheduler's constraint-granularity
+  /// bound (section 3.3); UUniFast can otherwise hand a task a share too
+  /// small to be admissible.
+  sim::Nanos min_slice = sim::micros(1);
+};
+
+/// UUniFast: n utilizations summing to `total`, uniform over the simplex.
+[[nodiscard]] std::vector<double> uunifast(std::size_t n, double total,
+                                           sim::Rng& rng);
+
+/// A full task set with log-uniform periods and UUniFast utilizations.
+/// Slices are floored at params.min_slice.
+[[nodiscard]] std::vector<PeriodicTask> generate_taskset(
+    const TaskSetParams& params, sim::Rng& rng);
+
+}  // namespace hrt::rt

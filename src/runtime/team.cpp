@@ -1,0 +1,215 @@
+#include "runtime/team.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hrt::nrt {
+
+double Job::imbalance() const {
+  if (worker_busy_.empty()) return 1.0;
+  sim::Nanos max_busy = 0;
+  sim::Nanos sum = 0;
+  for (sim::Nanos b : worker_busy_) {
+    max_busy = std::max(max_busy, b);
+    sum += b;
+  }
+  const double mean =
+      static_cast<double>(sum) / static_cast<double>(worker_busy_.size());
+  return mean > 0 ? static_cast<double>(max_busy) / mean : 1.0;
+}
+
+/// Per-worker execution: wait for the next job, drain chunks, signal done.
+/// Holds shared ownership of the team state so the TeamRuntime handle may
+/// be destroyed first.
+class TeamWorker final : public nk::Behavior {
+ public:
+  TeamWorker(std::shared_ptr<TeamState> state, std::uint32_t rank)
+      : state_(std::move(state)), rank_(rank) {}
+
+  nk::Action next(nk::ThreadCtx& ctx) override {
+    TeamState& ts = *state_;
+    for (;;) {
+      switch (stage_) {
+        case Stage::kAwaitJob: {
+          if (job_idx_ < ts.jobs.size()) {
+            stage_ = Stage::kBegin;
+            continue;
+          }
+          if (ts.stopping) return nk::Action::exit();
+          // Spin until the next submission (workers under a periodic
+          // constraint keep their class; spinning costs the simulator
+          // nothing while the flag is clear).
+          return nk::Action::spin_until(&ts.flag_for_job(job_idx_));
+        }
+        case Stage::kBegin: {
+          Job& job = *ts.jobs[job_idx_];
+          if (job.start_ < 0) {
+            job.start_ = ctx.kernel.machine().engine().now();
+          }
+          if (job.dispatch_ == Dispatch::kStatic) {
+            const std::uint64_t per =
+                (job.total_iters_ + job.workers_ - 1) / job.workers_;
+            lo_ = std::min<std::uint64_t>(rank_ * per, job.total_iters_);
+            hi_ = std::min<std::uint64_t>(lo_ + per, job.total_iters_);
+            stage_ = Stage::kRunChunk;
+          } else {
+            stage_ = Stage::kGrabChunk;
+          }
+          continue;
+        }
+        case Stage::kGrabChunk: {
+          Job& job = *ts.jobs[job_idx_];
+          const auto& spec = ctx.kernel.machine().spec();
+          const sim::Nanos atomic_ns = spec.freq.cycles_to_ns_ceil(
+              spec.cost.atomic_rmw + spec.cost.cacheline_transfer);
+          stage_ = Stage::kRunChunk;
+          return nk::Action::atomic(
+              &job.counter_line_, atomic_ns, [this, &job](nk::ThreadCtx&) {
+                lo_ = job.next_index_;
+                hi_ = std::min(lo_ + job.chunk_, job.total_iters_);
+                job.next_index_ = hi_;
+              });
+        }
+        case Stage::kRunChunk: {
+          Job& job = *ts.jobs[job_idx_];
+          if (lo_ >= hi_) {
+            stage_ = Stage::kFinish;
+            continue;
+          }
+          // Static mode also proceeds chunk-at-a-time through its range so
+          // long jobs stay preemptable at chunk granularity.
+          const std::uint64_t end = job.dispatch_ == Dispatch::kStatic
+                                        ? std::min(lo_ + job.chunk_, hi_)
+                                        : hi_;
+          sim::Nanos work = 0;
+          for (std::uint64_t i = lo_; i < end; ++i) {
+            work += job.iter_cost_(i);
+          }
+          const std::uint64_t count = end - lo_;
+          lo_ = end;
+          if (job.dispatch_ == Dispatch::kGuided && lo_ >= hi_) {
+            stage_ = Stage::kGrabChunk;
+          }
+          if (work < 1) work = 1;
+          return nk::Action::compute(
+              work, [this, &job, count, work](nk::ThreadCtx&) {
+                job.iters_run_ += count;
+                job.worker_busy_[rank_] += work;
+              });
+        }
+        case Stage::kFinish: {
+          Job& job = *ts.jobs[job_idx_];
+          const auto& spec = ctx.kernel.machine().spec();
+          const sim::Nanos atomic_ns =
+              spec.freq.cycles_to_ns_ceil(spec.cost.atomic_rmw);
+          stage_ = Stage::kAwaitJob;
+          ++job_idx_;
+          return nk::Action::atomic(
+              &job.counter_line_, atomic_ns, [&job](nk::ThreadCtx& c) {
+                if (++job.workers_done_ == job.workers_) {
+                  job.finish_ = c.kernel.machine().engine().now();
+                }
+              });
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] std::string describe() const override { return "nrt-worker"; }
+
+ private:
+  enum class Stage : std::uint8_t {
+    kAwaitJob,
+    kBegin,
+    kGrabChunk,
+    kRunChunk,
+    kFinish,
+  };
+
+  std::shared_ptr<TeamState> state_;
+  std::uint32_t rank_;
+  Stage stage_ = Stage::kAwaitJob;
+  std::size_t job_idx_ = 0;
+  std::uint64_t lo_ = 0;
+  std::uint64_t hi_ = 0;
+};
+
+TeamRuntime::TeamRuntime(System& sys, Options options)
+    : sys_(sys),
+      options_(options),
+      state_(std::make_shared<TeamState>(sys.kernel())) {
+  static std::uint64_t team_counter = 0;
+  const std::uint64_t team_seq = team_counter++;
+  state_->workers = options_.workers;
+  if (options_.first_cpu + options_.workers > sys_.machine().num_cpus()) {
+    throw std::invalid_argument("TeamRuntime: not enough CPUs");
+  }
+  grp::ThreadGroup* group = nullptr;
+  if (options_.hard_rt) {
+    group = sys_.groups().create("nrt-team-" + std::to_string(team_seq),
+                                 options_.workers);
+    if (group == nullptr) {
+      throw std::logic_error("TeamRuntime: group name collision");
+    }
+  }
+  for (std::uint32_t r = 0; r < options_.workers; ++r) {
+    auto worker = std::make_unique<TeamWorker>(state_, r);
+    std::unique_ptr<nk::Behavior> behavior;
+    if (options_.hard_rt) {
+      auto wrapped = std::make_unique<grp::GroupAdmitThenBehavior>(
+          *group,
+          rt::Constraints::periodic(options_.phase, options_.period,
+                                    options_.slice),
+          std::move(worker));
+      admissions_.push_back(wrapped.get());
+      behavior = std::move(wrapped);
+    } else {
+      behavior = std::move(worker);
+    }
+    threads_.push_back(sys_.spawn("nrt" + std::to_string(r),
+                                  std::move(behavior),
+                                  options_.first_cpu + r));
+  }
+}
+
+TeamRuntime::~TeamRuntime() {
+  state_->stopping = true;
+  // Wake spinners parked on the next-job flag so they observe the poison.
+  state_->flag_for_job(state_->jobs.size()).set();
+}
+
+Job& TeamRuntime::parallel_for(
+    std::uint64_t iterations,
+    std::function<sim::Nanos(std::uint64_t)> iter_cost, Dispatch dispatch,
+    std::uint64_t chunk) {
+  auto job = std::make_unique<Job>();
+  job->total_iters_ = iterations;
+  job->iter_cost_ = std::move(iter_cost);
+  job->dispatch_ = dispatch;
+  job->chunk_ = chunk == 0 ? 1 : chunk;
+  job->workers_ = options_.workers;
+  job->worker_busy_.assign(options_.workers, 0);
+  state_->jobs.push_back(std::move(job));
+  // Release any workers spinning for this submission.
+  state_->flag_for_job(state_->jobs.size() - 1).set();
+  return *state_->jobs.back();
+}
+
+bool TeamRuntime::wait(const Job& job, sim::Nanos timeout) {
+  const sim::Nanos cap = sys_.engine().now() + timeout;
+  while (!job.done() && sys_.engine().now() < cap) {
+    sys_.engine().run_until(
+        std::min(cap, sys_.engine().now() + sim::millis(2)));
+  }
+  return job.done();
+}
+
+bool TeamRuntime::admission_ok() const {
+  if (!options_.hard_rt) return true;
+  for (const auto* a : admissions_) {
+    if (!a->protocol().done() || !a->protocol().succeeded()) return false;
+  }
+  return true;
+}
+
+}  // namespace hrt::nrt

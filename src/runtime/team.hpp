@@ -1,0 +1,147 @@
+// A miniature data-parallel run-time system, in the HRT mold.
+//
+// The paper's premise (section 2) is that parallel run-times — Legion,
+// NESL, OpenMP ports — fuse with the kernel framework and drive scheduling
+// directly.  This module is such a run-time in miniature: a persistent
+// worker team pinned one-per-CPU that executes parallel-for jobs, with
+//   * static or guided (shared-counter) chunk dispatch,
+//   * an optional hard real-time group mode in which the team is admitted
+//     with a common periodic constraint, so gang scheduling and
+//     administrative throttling apply to the whole team at once, and
+//   * per-worker accounting so load imbalance is measurable.
+//
+// Lifetime: worker threads share ownership of the team state, so a
+// TeamRuntime may be destroyed while the simulation continues; destruction
+// poisons the job queue and the workers exit at their next dispatch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "group/group_admission.hpp"
+#include "rt/system.hpp"
+
+namespace hrt::nrt {
+
+enum class Dispatch : std::uint8_t {
+  kStatic,  // iteration space pre-split into equal worker ranges
+  kGuided,  // workers grab fixed-size chunks from a shared counter
+};
+
+class TeamRuntime;
+struct TeamState;
+
+/// A submitted parallel-for.  Poll done() while advancing the simulation.
+class Job {
+ public:
+  [[nodiscard]] bool done() const { return workers_done_ == workers_; }
+  [[nodiscard]] sim::Nanos start_time() const { return start_; }
+  [[nodiscard]] sim::Nanos finish_time() const { return finish_; }
+  [[nodiscard]] sim::Nanos makespan() const { return finish_ - start_; }
+  [[nodiscard]] std::uint64_t iterations_run() const { return iters_run_; }
+  /// Max over workers of busy time divided by the mean: 1.0 = perfectly
+  /// balanced.
+  [[nodiscard]] double imbalance() const;
+
+ private:
+  friend class TeamRuntime;
+  friend class TeamWorker;
+
+  std::uint64_t total_iters_ = 0;
+  std::function<sim::Nanos(std::uint64_t)> iter_cost_;
+  Dispatch dispatch_ = Dispatch::kStatic;
+  std::uint64_t chunk_ = 1;
+  std::uint32_t workers_ = 0;
+
+  // Shared dispatch state.
+  nk::SeqResource counter_line_;
+  std::uint64_t next_index_ = 0;
+
+  // Progress.
+  std::uint32_t workers_done_ = 0;
+  std::uint64_t iters_run_ = 0;
+  sim::Nanos start_ = -1;
+  sim::Nanos finish_ = -1;
+  std::vector<sim::Nanos> worker_busy_;
+};
+
+/// State shared between the TeamRuntime handle and its worker behaviors,
+/// so either side may outlive the other.
+struct TeamState {
+  explicit TeamState(nk::Kernel& kernel) : kernel(kernel) {}
+
+  nk::Kernel& kernel;
+  std::uint32_t workers = 0;
+  bool stopping = false;
+  std::vector<std::unique_ptr<Job>> jobs;
+  std::vector<std::unique_ptr<nk::WaitFlag>> job_flags;
+
+  nk::WaitFlag& flag_for_job(std::size_t idx) {
+    while (job_flags.size() <= idx) {
+      job_flags.push_back(std::make_unique<nk::WaitFlag>(kernel));
+    }
+    return *job_flags[idx];
+  }
+};
+
+class TeamRuntime {
+ public:
+  struct Options {
+    std::uint32_t workers = 4;
+    std::uint32_t first_cpu = 1;
+    bool hard_rt = false;          // admit the team as an RT group
+    sim::Nanos period = sim::micros(1000);
+    sim::Nanos slice = sim::micros(800);
+    sim::Nanos phase = sim::millis(3);
+  };
+
+  /// Spawns the worker threads immediately (system must be booted).  In
+  /// hard_rt mode the workers first run group admission; check
+  /// admission_ok() after the first job (or after run-in time).
+  TeamRuntime(System& sys, Options options);
+
+  /// Poisons the job queue: workers exit at their next dispatch.  Safe
+  /// while the simulation keeps running (state is shared with the workers).
+  ~TeamRuntime();
+
+  TeamRuntime(const TeamRuntime&) = delete;
+  TeamRuntime& operator=(const TeamRuntime&) = delete;
+
+  /// Submit a parallel-for of `iterations`, each costing
+  /// `iter_cost(index)` of simulated compute.  Jobs execute in submission
+  /// order.  The returned Job lives as long as the team state.
+  Job& parallel_for(std::uint64_t iterations,
+                    std::function<sim::Nanos(std::uint64_t)> iter_cost,
+                    Dispatch dispatch = Dispatch::kStatic,
+                    std::uint64_t chunk = 16);
+
+  /// Convenience: fixed cost per iteration.
+  Job& parallel_for(std::uint64_t iterations, sim::Nanos cost_each,
+                    Dispatch dispatch = Dispatch::kStatic,
+                    std::uint64_t chunk = 16) {
+    return parallel_for(
+        iterations, [cost_each](std::uint64_t) { return cost_each; },
+        dispatch, chunk);
+  }
+
+  /// Advance the simulation until the job completes (or the timeout of
+  /// simulated time elapses).  Returns job.done().
+  bool wait(const Job& job, sim::Nanos timeout = sim::seconds(10));
+
+  [[nodiscard]] std::uint32_t workers() const { return options_.workers; }
+  [[nodiscard]] bool admission_ok() const;
+  [[nodiscard]] const std::vector<nk::Thread*>& worker_threads() const {
+    return threads_;
+  }
+
+ private:
+  System& sys_;
+  Options options_;
+  std::shared_ptr<TeamState> state_;
+  std::vector<nk::Thread*> threads_;
+  std::vector<grp::GroupAdmitThenBehavior*> admissions_;
+};
+
+}  // namespace hrt::nrt

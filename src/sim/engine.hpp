@@ -1,0 +1,104 @@
+// Discrete-event simulation engine.
+//
+// The engine owns the global "true" timeline of the simulated machine in
+// nanoseconds.  Hardware components schedule events (timer expiry, SMI
+// assertion, action completion) against it.  Events at the same timestamp
+// are ordered by an explicit priority band first (so that, e.g., an SMI
+// freeze at time T is applied before a work completion at T), then FIFO.
+//
+// Event cancellation is supported because preemption constantly invalidates
+// in-flight completion events; cancelled events are skipped lazily at pop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hrt::sim {
+
+/// Ordering bands for simultaneous events.  Lower runs first.
+enum class EventBand : std::uint8_t {
+  kSmi = 0,       // stop-the-world freezes preempt everything
+  kHardware = 1,  // timer expiry, interrupt wire assertions
+  kDefault = 2,   // completions, software callbacks
+  kObserver = 3,  // measurement hooks that must see settled state
+};
+
+/// Opaque handle for cancelling a scheduled event.  Value 0 is "none".
+struct EventId {
+  std::uint64_t value = 0;
+  [[nodiscard]] bool valid() const { return value != 0; }
+  void reset() { value = 0; }
+};
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] Nanos now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `when` (>= now).  Returns a handle that
+  /// may be passed to cancel() until the event has run.
+  EventId schedule_at(Nanos when, Callback cb,
+                      EventBand band = EventBand::kDefault);
+
+  /// Schedule `cb` after a relative delay (>= 0).
+  EventId schedule_after(Nanos delay, Callback cb,
+                         EventBand band = EventBand::kDefault) {
+    return schedule_at(now_ + delay, std::move(cb), band);
+  }
+
+  /// Cancel a pending event.  Safe to call with an already-run or invalid id
+  /// (it becomes a no-op).
+  void cancel(EventId id);
+
+  /// Run events until the queue is empty or `t_end` is passed.  Events at
+  /// exactly t_end still run.  Returns the number of events executed.
+  std::uint64_t run_until(Nanos t_end);
+
+  /// Run until the queue drains entirely.
+  std::uint64_t run_all();
+
+  /// Execute exactly one event if present.  Returns false if queue empty.
+  bool step();
+
+  [[nodiscard]] bool empty() const {
+    return queue_.size() == cancelled_.size();
+  }
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  /// If an event callback throws, the exception propagates out of run_*;
+  /// the engine remains usable.
+
+ private:
+  struct Event {
+    Nanos when;
+    std::uint8_t band;
+    std::uint64_t seq;  // FIFO tie-break
+    std::uint64_t id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      if (a.band != b.band) return a.band > b.band;
+      return a.seq > b.seq;
+    }
+  };
+
+  Nanos now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace hrt::sim

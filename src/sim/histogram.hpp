@@ -1,0 +1,74 @@
+// Fixed-bin histogram with terminal rendering, used to regenerate the
+// paper's distribution figures (e.g., Figure 3, TSC offsets).
+#pragma once
+
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hrt::sim {
+
+class Histogram {
+ public:
+  /// Bins cover [lo, hi); values outside are counted in under/overflow.
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0) {}
+
+  void add(double x) {
+    ++total_;
+    if (x < lo_) {
+      ++underflow_;
+      return;
+    }
+    if (x >= hi_) {
+      ++overflow_;
+      return;
+    }
+    const auto idx = static_cast<std::size_t>(
+        (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size()));
+    ++counts_[idx < counts_.size() ? idx : counts_.size() - 1];
+  }
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t i) const {
+    return counts_[i];
+  }
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t i) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(counts_.size());
+  }
+  [[nodiscard]] double bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+  /// Render as an ASCII bar chart, one bin per row.
+  void print(std::ostream& os, const std::string& unit,
+             int bar_width = 50) const {
+    std::uint64_t peak = 1;
+    for (auto c : counts_) peak = c > peak ? c : peak;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      const int len = static_cast<int>(
+          static_cast<double>(counts_[i]) * bar_width /
+          static_cast<double>(peak));
+      os << std::setw(10) << static_cast<std::int64_t>(bin_lo(i)) << "-"
+         << std::setw(8) << static_cast<std::int64_t>(bin_hi(i)) << " " << unit
+         << " |" << std::string(static_cast<std::size_t>(len), '#') << " "
+         << counts_[i] << "\n";
+    }
+    if (underflow_ != 0) os << "  underflow: " << underflow_ << "\n";
+    if (overflow_ != 0) os << "  overflow:  " << overflow_ << "\n";
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+}  // namespace hrt::sim

@@ -1,0 +1,92 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// Every stochastic element of the simulation (cost jitter, SMI arrival,
+// boot skew, work-stealing victim selection) draws from an Rng seeded
+// explicitly, so that simulations are exactly reproducible run-to-run.
+// The generator is xoshiro256** (public domain, Blackman & Vigna).
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+namespace hrt::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_u64() % span);
+  }
+
+  /// Standard normal via Box-Muller (one value per call; simple and adequate
+  /// for jitter modeling).
+  double normal(double mean, double stddev) {
+    double u1 = next_double();
+    double u2 = next_double();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean) {
+    double u = next_double();
+    if (u < 1e-300) u = 1e-300;
+    return -mean * std::log(u);
+  }
+
+  /// A cost with multiplicative jitter: base * (1 + N(0, rel_std)), clamped
+  /// to be at least min_fraction of the base.  Models the "fuzz" in
+  /// interrupt/scheduler path lengths seen on the paper's oscilloscope traces.
+  std::int64_t jittered(std::int64_t base, double rel_std,
+                        double min_fraction = 0.5) {
+    if (base <= 0 || rel_std <= 0.0) return base;
+    const double v = static_cast<double>(base) * (1.0 + normal(0.0, rel_std));
+    const double floor_v = static_cast<double>(base) * min_fraction;
+    return static_cast<std::int64_t>(v < floor_v ? floor_v : v);
+  }
+
+  /// Derive an independent stream (e.g., one per CPU) from this seed space.
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) {
+    return Rng(next_u64() ^ (stream_id * 0x9e3779b97f4a7c15ULL));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace hrt::sim

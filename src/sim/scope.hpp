@@ -1,0 +1,87 @@
+// ScopeAnalyzer: the simulated stand-in for the Rigol DS1054Z of section 5.2.
+//
+// The analyzer consumes a sequence of (time, level) transitions for one
+// logical channel and derives the quantities one reads off a persistence
+// display: pulse widths, periods, duty cycle, and "fuzz" (the spread of
+// repeated edges, which on the real scope appears as trace blur).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace hrt::sim {
+
+struct Edge {
+  Nanos time;
+  bool rising;
+};
+
+struct Pulse {
+  Nanos start;
+  Nanos width;
+};
+
+class ScopeAnalyzer {
+ public:
+  /// Record a transition to `level` at time `t`.  Transitions must be fed in
+  /// nondecreasing time order; same-level repeats are ignored.
+  void transition(Nanos t, bool level) {
+    if (has_level_ && level == level_) return;
+    if (has_level_) {
+      edges_.push_back(Edge{t, level});
+      if (!level && high_since_ >= 0) {
+        pulses_.push_back(Pulse{high_since_, t - high_since_});
+      }
+    }
+    if (level) high_since_ = t;
+    level_ = level;
+    has_level_ = true;
+  }
+
+  [[nodiscard]] const std::vector<Pulse>& pulses() const { return pulses_; }
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Statistics over high-pulse widths.  The paper's "sharp" traces have
+  /// near-zero width spread; "fuzzy" ones (scheduler, IRQ handler) do not.
+  [[nodiscard]] RunningStats pulse_width_stats() const {
+    RunningStats s;
+    for (const auto& p : pulses_) s.add(static_cast<double>(p.width));
+    return s;
+  }
+
+  /// Statistics over rising-edge-to-rising-edge periods.
+  [[nodiscard]] RunningStats period_stats() const {
+    RunningStats s;
+    Nanos prev = -1;
+    for (const auto& e : edges_) {
+      if (!e.rising) continue;
+      if (prev >= 0) s.add(static_cast<double>(e.time - prev));
+      prev = e.time;
+    }
+    return s;
+  }
+
+  /// Fraction of observed time the channel was high.
+  [[nodiscard]] double duty_cycle() const {
+    if (edges_.size() < 2) return 0.0;
+    const Nanos span = edges_.back().time - edges_.front().time;
+    if (span <= 0) return 0.0;
+    Nanos high = 0;
+    for (const auto& p : pulses_) {
+      if (p.start >= edges_.front().time) high += p.width;
+    }
+    return static_cast<double>(high) / static_cast<double>(span);
+  }
+
+ private:
+  bool has_level_ = false;
+  bool level_ = false;
+  Nanos high_since_ = -1;
+  std::vector<Edge> edges_;
+  std::vector<Pulse> pulses_;
+};
+
+}  // namespace hrt::sim

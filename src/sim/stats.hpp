@@ -1,0 +1,104 @@
+// Small statistics helpers used by the evaluation harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace hrt::sim {
+
+/// Streaming mean/variance/min/max (Welford).  O(1) memory.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const {
+    return n_ ? min_ : 0.0;
+  }
+  [[nodiscard]] double max() const {
+    return n_ ? max_ : 0.0;
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Sample collector with percentile queries.  Keeps all samples.
+class Samples {
+ public:
+  void add(double x) {
+    data_.push_back(x);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const { return data_.size(); }
+
+  [[nodiscard]] double mean() const {
+    if (data_.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : data_) s += x;
+    return s / static_cast<double>(data_.size());
+  }
+
+  [[nodiscard]] double stddev() const {
+    if (data_.size() < 2) return 0.0;
+    const double m = mean();
+    double s = 0.0;
+    for (double x : data_) s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(data_.size() - 1));
+  }
+
+  /// p in [0, 100].  Nearest-rank on the sorted data.
+  [[nodiscard]] double percentile(double p) {
+    if (data_.empty()) return 0.0;
+    sort();
+    const double rank = p / 100.0 * static_cast<double>(data_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, data_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return data_[lo] * (1.0 - frac) + data_[hi] * frac;
+  }
+
+  [[nodiscard]] double min() {
+    sort();
+    return data_.empty() ? 0.0 : data_.front();
+  }
+  [[nodiscard]] double max() {
+    sort();
+    return data_.empty() ? 0.0 : data_.back();
+  }
+
+  [[nodiscard]] const std::vector<double>& values() const { return data_; }
+
+ private:
+  void sort() {
+    if (!sorted_) {
+      std::sort(data_.begin(), data_.end());
+      sorted_ = true;
+    }
+  }
+
+  std::vector<double> data_;
+  bool sorted_ = true;
+};
+
+}  // namespace hrt::sim

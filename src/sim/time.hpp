@@ -1,0 +1,77 @@
+// Time types and cycle<->nanosecond conversion.
+//
+// Following the paper (section 3.3), all wall-clock time in the system is kept
+// in signed 64-bit nanoseconds: "Time is measured throughout in units of
+// nanoseconds stored in 64 bit integers."  Cycle counts are what the simulated
+// hardware (TSC, APIC) exposes; the conversion is owned by a Frequency object
+// so that per-machine clock rates (Phi @ 1.3 GHz, R415 @ 2.2 GHz) are explicit.
+#pragma once
+
+#include <cstdint>
+
+namespace hrt::sim {
+
+/// Wall-clock time or duration in nanoseconds.
+using Nanos = std::int64_t;
+
+/// A count of processor clock cycles (TSC units).
+using Cycles = std::int64_t;
+
+inline constexpr Nanos kNanosPerMicro = 1'000;
+inline constexpr Nanos kNanosPerMilli = 1'000'000;
+inline constexpr Nanos kNanosPerSecond = 1'000'000'000;
+
+constexpr Nanos micros(std::int64_t us) { return us * kNanosPerMicro; }
+constexpr Nanos millis(std::int64_t ms) { return ms * kNanosPerMilli; }
+constexpr Nanos seconds(std::int64_t s) { return s * kNanosPerSecond; }
+
+/// A fixed clock frequency.  Supports round-trip conversion between cycle
+/// counts and nanoseconds.  Conversions round to nearest, except where a
+/// caller explicitly needs the paper's conservative ("never later") rounding,
+/// for which floor/ceil variants are provided.
+class Frequency {
+ public:
+  constexpr explicit Frequency(std::int64_t hz) : hz_(hz) {}
+
+  [[nodiscard]] constexpr std::int64_t hz() const { return hz_; }
+  [[nodiscard]] constexpr double ghz() const {
+    return static_cast<double>(hz_) / 1e9;
+  }
+
+  /// Cycles -> nanoseconds, rounded to nearest (symmetric for negatives,
+  /// which calibration offsets can be).
+  [[nodiscard]] constexpr Nanos cycles_to_ns(Cycles c) const {
+    // c * 1e9 / hz, done in 128-bit to avoid overflow for large counts.
+    const __int128 num = static_cast<__int128>(c) * kNanosPerSecond;
+    return static_cast<Nanos>(div_nearest(num, hz_));
+  }
+
+  /// Nanoseconds -> cycles, rounded to nearest.
+  [[nodiscard]] constexpr Cycles ns_to_cycles(Nanos ns) const {
+    const __int128 num = static_cast<__int128>(ns) * hz_;
+    return static_cast<Cycles>(div_nearest(num, kNanosPerSecond));
+  }
+
+  /// Nanoseconds -> cycles, rounded down (conservative countdowns: a timer
+  /// programmed with the floor fires earlier, never later).
+  [[nodiscard]] constexpr Cycles ns_to_cycles_floor(Nanos ns) const {
+    const __int128 num = static_cast<__int128>(ns) * hz_;
+    return static_cast<Cycles>(num / kNanosPerSecond);
+  }
+
+  /// Cycles -> nanoseconds, rounded up.
+  [[nodiscard]] constexpr Nanos cycles_to_ns_ceil(Cycles c) const {
+    const __int128 num = static_cast<__int128>(c) * kNanosPerSecond;
+    return static_cast<Nanos>((num + hz_ - 1) / hz_);
+  }
+
+ private:
+  static constexpr __int128 div_nearest(__int128 num, std::int64_t den) {
+    if (num >= 0) return (num + den / 2) / den;
+    return -((-num + den / 2) / den);
+  }
+
+  std::int64_t hz_;
+};
+
+}  // namespace hrt::sim

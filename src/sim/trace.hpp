@@ -1,0 +1,73 @@
+// Event tracing.
+//
+// The paper verifies hard real-time behavior *externally*: the scheduler
+// toggles pins on a parallel port which an oscilloscope monitors (section
+// 5.2).  In the simulated machine, the equivalent signal path is a trace of
+// timestamped channel transitions; the ScopeAnalyzer (scope.hpp) then plays
+// the role of the oscilloscope.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hrt::sim {
+
+/// What a trace record describes.
+enum class TraceKind : std::uint8_t {
+  kPin,            // GPIO pin level change (value = new level)
+  kThreadActive,   // thread dispatched (value = thread id)
+  kThreadInactive, // thread descheduled (value = thread id)
+  kIrqEnter,       // interrupt handler entry (value = vector)
+  kIrqExit,        // interrupt handler exit (value = vector)
+  kSchedPass,      // scheduler pass executed (value = pass sequence)
+  kSwitch,         // context switch performed (value = new thread id)
+  kCustom,         // benchmark-defined
+};
+
+struct TraceRecord {
+  Nanos time;
+  std::uint32_t cpu;
+  TraceKind kind;
+  std::int64_t value;
+};
+
+/// Append-only trace buffer.  Disabled by default; recording every scheduler
+/// event in a 255-CPU run would swamp memory, so benchmarks enable it only
+/// on the CPUs/channels they observe.
+class Trace {
+ public:
+  void enable() { enabled_ = true; }
+  void disable() { enabled_ = false; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record(Nanos t, std::uint32_t cpu, TraceKind kind, std::int64_t value) {
+    if (enabled_) {
+      records_.push_back(TraceRecord{t, cpu, kind, value});
+    }
+  }
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const {
+    return records_;
+  }
+  void clear() { records_.clear(); }
+
+  /// All records of one kind (optionally restricted to one cpu; cpu == ~0u
+  /// means any).
+  [[nodiscard]] std::vector<TraceRecord> filter(
+      TraceKind kind, std::uint32_t cpu = ~0u) const {
+    std::vector<TraceRecord> out;
+    for (const auto& r : records_) {
+      if (r.kind == kind && (cpu == ~0u || r.cpu == cpu)) out.push_back(r);
+    }
+    return out;
+  }
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace hrt::sim

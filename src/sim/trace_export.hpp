@@ -1,0 +1,24 @@
+// Trace export: CSV for analysis scripts, and VCD (value change dump) so
+// GPIO/scheduler traces open in standard waveform viewers — the software
+// equivalent of saving the oscilloscope capture from section 5.2.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace hrt::sim {
+
+/// Write every record as "time_ns,cpu,kind,value" rows.
+void export_csv(const Trace& trace, std::ostream& os);
+
+/// Write the kPin records of one CPU as an 8-signal VCD.  `timescale_ns`
+/// sets the VCD timescale (1 = nanosecond resolution).
+void export_pins_vcd(const Trace& trace, std::uint32_t cpu, std::ostream& os,
+                     const std::string& module_name = "gpio");
+
+/// Human-readable kind name (stable; used by the CSV header and tests).
+[[nodiscard]] const char* trace_kind_name(TraceKind kind);
+
+}  // namespace hrt::sim

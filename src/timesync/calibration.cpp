@@ -1,0 +1,43 @@
+#include "timesync/calibration.hpp"
+
+#include "hw/machine.hpp"
+
+namespace hrt::timesync {
+
+CalibrationResult calibrate(hw::Machine& machine) {
+  CalibrationResult result;
+  result.performed = true;
+  result.residual_cycles.resize(machine.num_cpus(), 0);
+
+  const auto& spec = machine.spec();
+  const sim::Frequency freq = spec.freq;
+  sim::Rng rng = machine.rng().fork(0xCA1B);
+
+  for (std::uint32_t i = 1; i < machine.num_cpus(); ++i) {
+    hw::Cpu& c = machine.cpu(i);
+    // The true phase difference the exchange is trying to estimate.
+    const sim::Nanos true_offset_ns = c.tsc().true_offset_ns();
+
+    // Estimation noise: the exchange and the TSC write both take
+    // multi-cycle instruction sequences, so the estimate lands within a
+    // clamped normal of the truth.
+    sim::Cycles noise =
+        static_cast<sim::Cycles>(rng.normal(
+            0.0, static_cast<double>(spec.skew.calib_error_std)));
+    if (noise > spec.skew.calib_error_max) noise = spec.skew.calib_error_max;
+    if (noise < -spec.skew.calib_error_max) noise = -spec.skew.calib_error_max;
+
+    const sim::Cycles measured =
+        freq.ns_to_cycles(true_offset_ns) + noise;
+
+    // Write the predicted value (or apply the equivalent software offset on
+    // machines whose TSC is not writable; the observable wall clock is the
+    // same either way).
+    c.tsc().adjust_cycles(-measured);
+
+    result.residual_cycles[i] = freq.ns_to_cycles(c.tsc().true_offset_ns());
+  }
+  return result;
+}
+
+}  // namespace hrt::timesync

@@ -1,0 +1,45 @@
+// Boot-time cross-CPU cycle counter calibration (section 3.4, Figure 3).
+//
+// Each CPU's kernel boot begins at a slightly different time, so raw TSC
+// readings disagree about wall clock.  At boot the local schedulers run a
+// barrier-like exchange against CPU 0 (whose counter *defines* wall-clock
+// time), estimate each counter's phase, and — on hardware that allows it —
+// write the counter with the predicted value.  Both the measurement and the
+// write execute instruction sequences whose granularity exceeds a cycle, so
+// a residual error remains; the paper measures it at under ~1000 cycles
+// across all 256 CPUs of the Phi.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hrt::hw {
+class Machine;
+}
+
+namespace hrt::timesync {
+
+struct CalibrationResult {
+  bool performed = false;
+  /// Per-CPU residual offset vs CPU 0, in cycles, after correction.
+  /// Ground truth (a real system can only bound this, not read it).
+  std::vector<sim::Cycles> residual_cycles;
+
+  [[nodiscard]] sim::Cycles max_abs_residual() const {
+    sim::Cycles m = 0;
+    for (auto r : residual_cycles) {
+      const sim::Cycles a = r < 0 ? -r : r;
+      if (a > m) m = a;
+    }
+    return m;
+  }
+};
+
+/// Estimate every CPU's TSC offset relative to CPU 0 and apply the
+/// write-back correction.  The estimation error of each exchange is drawn
+/// from the machine spec's calibration noise model.
+CalibrationResult calibrate(hw::Machine& machine);
+
+}  // namespace hrt::timesync

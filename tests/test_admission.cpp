@@ -1,0 +1,200 @@
+// Admission-control analyses: EDF utilization test, Liu-Layland RM bound,
+// exact response-time analysis, and the hyperperiod-simulation prototype —
+// including cross-validation properties between them.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rt/admission.hpp"
+#include "sim/rng.hpp"
+
+namespace hrt::rt {
+namespace {
+
+using sim::micros;
+
+std::vector<PeriodicTask> set_of(
+    std::initializer_list<std::pair<sim::Nanos, sim::Nanos>> ts) {
+  std::vector<PeriodicTask> out;
+  for (const auto& [tau, sigma] : ts) out.push_back({tau, sigma, 0});
+  return out;
+}
+
+TEST(Utilization, SumsSliceOverPeriod) {
+  auto s = set_of({{micros(100), micros(25)}, {micros(200), micros(50)}});
+  EXPECT_DOUBLE_EQ(total_utilization(s), 0.5);
+}
+
+// ---------- EDF ----------
+
+TEST(Edf, AdmitsUpToAvailable) {
+  auto s = set_of({{micros(100), micros(40)}, {micros(200), micros(78)}});
+  EXPECT_TRUE(edf_admissible(s, 0.79));   // U = 0.79
+  EXPECT_FALSE(edf_admissible(s, 0.78));
+}
+
+TEST(Edf, EmptySetAlwaysAdmissible) {
+  EXPECT_TRUE(edf_admissible({}, 0.0));
+}
+
+TEST(Edf, MalformedTaskRejected) {
+  EXPECT_FALSE(edf_admissible(set_of({{micros(100), micros(150)}}), 1.0));
+  EXPECT_FALSE(edf_admissible({{0, 10, 0}}, 1.0));
+  EXPECT_FALSE(edf_admissible({{100, 0, 0}}, 1.0));
+}
+
+TEST(Edf, ExactAtFullUtilization) {
+  // EDF is optimal: U == 1.0 is schedulable on a full CPU.
+  auto s = set_of({{micros(100), micros(50)}, {micros(200), micros(100)}});
+  EXPECT_TRUE(edf_admissible(s, 1.0));
+}
+
+// ---------- RM Liu-Layland ----------
+
+TEST(RmLl, SingleTaskBoundIsFullCpu) {
+  // n=1: bound = 1.0.
+  EXPECT_TRUE(rm_ll_admissible(set_of({{micros(100), micros(99)}}), 1.0));
+}
+
+TEST(RmLl, TwoTaskBound) {
+  // n=2: bound = 2(sqrt(2)-1) ~ 0.828.
+  auto under = set_of({{micros(100), micros(41)}, {micros(200), micros(82)}});
+  EXPECT_TRUE(rm_ll_admissible(under, 1.0));  // U = 0.82
+  auto over = set_of({{micros(100), micros(42)}, {micros(200), micros(84)}});
+  EXPECT_FALSE(rm_ll_admissible(over, 1.0));  // U = 0.84
+}
+
+TEST(RmLl, MoreConservativeThanEdf) {
+  sim::Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<PeriodicTask> s;
+    const int n = static_cast<int>(rng.uniform(1, 6));
+    for (int i = 0; i < n; ++i) {
+      const sim::Nanos tau = micros(rng.uniform(50, 2000));
+      const sim::Nanos sigma = std::max<sim::Nanos>(1, tau * rng.uniform(1, 40) / 100);
+      s.push_back({tau, sigma, 0});
+    }
+    if (rm_ll_admissible(s, 0.79)) {
+      EXPECT_TRUE(edf_admissible(s, 0.79))
+          << "LL admitted a set EDF rejected";
+    }
+  }
+}
+
+// ---------- RM response-time analysis ----------
+
+TEST(RmRta, ClassicFeasibleExample) {
+  // Liu & Layland's canonical example: C=(20,40,100), T=(100,150,350).
+  std::vector<PeriodicTask> s = {{micros(100), micros(20), 0},
+                                 {micros(150), micros(40), 0},
+                                 {micros(350), micros(100), 0}};
+  EXPECT_TRUE(rm_rta_admissible(s, 1.0));
+}
+
+TEST(RmRta, DetectsInfeasibleLowPriorityTask) {
+  std::vector<PeriodicTask> s = {{micros(100), micros(60), 0},
+                                 {micros(150), micros(70), 0}};
+  // Response time of task 2: 70 + 2*60 = 190 > 150.
+  EXPECT_FALSE(rm_rta_admissible(s, 1.0));
+}
+
+TEST(RmRta, AcceptsWhereLlBoundIsTooConservative) {
+  // Harmonic periods are RM-schedulable up to U = 1.0, beyond the LL bound.
+  auto s = set_of({{micros(100), micros(50)}, {micros(200), micros(100)}});
+  EXPECT_FALSE(rm_ll_admissible(s, 1.0));  // U = 1.0 > 0.828
+  EXPECT_TRUE(rm_rta_admissible(s, 1.0));
+}
+
+TEST(RmRta, PartialAvailabilityInflatesDemand) {
+  auto s = set_of({{micros(100), micros(40)}});
+  EXPECT_TRUE(rm_rta_admissible(s, 0.5));   // 40/0.5 = 80 <= 100
+  EXPECT_FALSE(rm_rta_admissible(s, 0.3));  // 40/0.3 = 134 > 100
+}
+
+TEST(RmRta, LlImpliesRta) {
+  sim::Rng rng(31);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<PeriodicTask> s;
+    const int n = static_cast<int>(rng.uniform(1, 5));
+    for (int i = 0; i < n; ++i) {
+      const sim::Nanos tau = micros(rng.uniform(100, 1000));
+      const sim::Nanos sigma = std::max<sim::Nanos>(1, tau * rng.uniform(1, 30) / 100);
+      s.push_back({tau, sigma, 0});
+    }
+    if (rm_ll_admissible(s, 1.0)) {
+      EXPECT_TRUE(rm_rta_admissible(s, 1.0))
+          << "LL (sufficient) admitted what exact RTA rejected";
+    }
+  }
+}
+
+// ---------- Simulation-based admission ----------
+
+TEST(SimAdmission, FeasibleSetPasses) {
+  std::vector<PeriodicTask> s = {{micros(100), micros(30), 0},
+                                 {micros(200), micros(60), 0}};
+  SimAdmissionConfig cfg;
+  auto r = simulate_edf_admission(s, cfg);
+  EXPECT_TRUE(r.admissible);
+  EXPECT_EQ(r.hyperperiod, micros(200));
+  EXPECT_EQ(r.missed_deadlines, 0u);
+}
+
+TEST(SimAdmission, OverloadedSetFails) {
+  std::vector<PeriodicTask> s = {{micros(100), micros(70), 0},
+                                 {micros(200), micros(80), 0}};  // U = 1.1
+  SimAdmissionConfig cfg;
+  auto r = simulate_edf_admission(s, cfg);
+  EXPECT_FALSE(r.admissible);
+  EXPECT_GT(r.missed_deadlines, 0u);
+}
+
+TEST(SimAdmission, OverheadTipsTightSets) {
+  // U = 0.95 is fine with zero overhead but not once each slice pays two
+  // 5 us scheduler invocations.
+  std::vector<PeriodicTask> s = {{micros(100), micros(95), 0}};
+  SimAdmissionConfig free_cfg;
+  EXPECT_TRUE(simulate_edf_admission(s, free_cfg).admissible);
+  SimAdmissionConfig costly;
+  costly.per_invocation_overhead = micros(5);
+  EXPECT_FALSE(simulate_edf_admission(s, costly).admissible);
+}
+
+TEST(SimAdmission, HorizonGuard) {
+  // Co-prime periods in ns make the hyperperiod astronomically large.
+  std::vector<PeriodicTask> s = {{1000003, 100, 0}, {999983, 100, 0}};
+  SimAdmissionConfig cfg;
+  cfg.max_horizon = sim::millis(100);
+  auto r = simulate_edf_admission(s, cfg);
+  EXPECT_TRUE(r.horizon_exceeded);
+  EXPECT_FALSE(r.admissible);
+}
+
+TEST(SimAdmission, PhasesRespected) {
+  std::vector<PeriodicTask> s = {{micros(100), micros(50), micros(25)},
+                                 {micros(100), micros(50), micros(75)}};
+  SimAdmissionConfig cfg;
+  EXPECT_TRUE(simulate_edf_admission(s, cfg).admissible);
+}
+
+TEST(SimAdmission, AgreesWithEdfUtilizationTest) {
+  // Without overhead, the simulation and the utilization test agree (EDF
+  // optimality), on harmonic sets where simulation horizons stay small.
+  sim::Rng rng(8);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<PeriodicTask> s;
+    const int n = static_cast<int>(rng.uniform(1, 4));
+    for (int i = 0; i < n; ++i) {
+      const sim::Nanos tau = micros(100) << rng.uniform(0, 3);
+      const sim::Nanos sigma = std::max<sim::Nanos>(1, tau * rng.uniform(5, 60) / 100);
+      s.push_back({tau, sigma, 0});
+    }
+    SimAdmissionConfig cfg;
+    const bool sim_ok = simulate_edf_admission(s, cfg).admissible;
+    const bool edf_ok = edf_admissible(s, 1.0);
+    EXPECT_EQ(sim_ok, edf_ok) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace hrt::rt

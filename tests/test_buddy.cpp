@@ -1,0 +1,152 @@
+// Buddy allocator tests: correctness, coalescing, invariants, and
+// property-style randomized sweeps.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "nautilus/buddy.hpp"
+#include "sim/rng.hpp"
+
+namespace hrt::nk {
+namespace {
+
+TEST(Buddy, AllocatesAndFreesOneBlock) {
+  BuddyAllocator b(0x10000, 12, 20);  // 4 KiB .. 1 MiB
+  EXPECT_EQ(b.capacity(), 1u << 20);
+  auto a = b.alloc(4096);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_GE(*a, 0x10000u);
+  EXPECT_EQ(b.bytes_allocated(), 4096u);
+  b.free(*a);
+  EXPECT_EQ(b.bytes_allocated(), 0u);
+  EXPECT_EQ(b.largest_free_block(), 1u << 20);
+}
+
+TEST(Buddy, RoundsUpToPowerOfTwo) {
+  BuddyAllocator b(0, 12, 20);
+  auto a = b.alloc(5000);  // -> 8192
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(b.bytes_allocated(), 8192u);
+  b.free(*a);
+}
+
+TEST(Buddy, ZeroSizeGetsMinBlock) {
+  BuddyAllocator b(0, 12, 20);
+  auto a = b.alloc(0);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(b.bytes_allocated(), 4096u);
+  b.free(*a);
+}
+
+TEST(Buddy, ExhaustionReturnsNullopt) {
+  BuddyAllocator b(0, 12, 14);  // 16 KiB total, 4 KiB min
+  std::vector<std::uint64_t> blocks;
+  for (int i = 0; i < 4; ++i) {
+    auto a = b.alloc(4096);
+    ASSERT_TRUE(a.has_value());
+    blocks.push_back(*a);
+  }
+  EXPECT_FALSE(b.alloc(4096).has_value());
+  for (auto a : blocks) b.free(a);
+  EXPECT_TRUE(b.alloc(16384).has_value());
+}
+
+TEST(Buddy, OversizeRequestRejected) {
+  BuddyAllocator b(0, 12, 16);
+  EXPECT_FALSE(b.alloc((1u << 16) + 1).has_value());
+}
+
+TEST(Buddy, CoalescingRestoresLargeBlocks) {
+  BuddyAllocator b(0, 12, 16);  // 64 KiB
+  auto a1 = b.alloc(4096);
+  auto a2 = b.alloc(4096);
+  auto a3 = b.alloc(4096);
+  ASSERT_TRUE(a1 && a2 && a3);
+  EXPECT_LT(b.largest_free_block(), 1u << 16);
+  b.free(*a1);
+  b.free(*a2);
+  b.free(*a3);
+  EXPECT_EQ(b.largest_free_block(), 1u << 16);
+  EXPECT_TRUE(b.check_invariants());
+}
+
+TEST(Buddy, DoubleFreeThrows) {
+  BuddyAllocator b(0, 12, 16);
+  auto a = b.alloc(4096);
+  ASSERT_TRUE(a.has_value());
+  b.free(*a);
+  EXPECT_THROW(b.free(*a), std::invalid_argument);
+}
+
+TEST(Buddy, FreeOfUnknownAddressThrows) {
+  BuddyAllocator b(0x1000, 12, 16);
+  EXPECT_THROW(b.free(0x1234), std::invalid_argument);
+  EXPECT_THROW(b.free(0x10), std::invalid_argument);  // below base
+}
+
+TEST(Buddy, BadOrderRangeThrows) {
+  EXPECT_THROW(BuddyAllocator(0, 20, 12), std::invalid_argument);
+  EXPECT_THROW(BuddyAllocator(0, 10, 63), std::invalid_argument);
+}
+
+TEST(Buddy, AllocationsDoNotOverlap) {
+  BuddyAllocator b(0, 12, 18);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> live;  // addr, size
+  sim::Rng rng(5);
+  for (int i = 0; i < 40; ++i) {
+    const std::uint64_t size = 4096u << rng.uniform(0, 2);
+    auto a = b.alloc(size);
+    if (!a) continue;
+    for (const auto& [addr, sz] : live) {
+      const bool disjoint = *a + size <= addr || addr + sz <= *a;
+      EXPECT_TRUE(disjoint) << "overlap at " << *a;
+    }
+    live.emplace_back(*a, size);
+  }
+  for (const auto& [addr, sz] : live) b.free(addr);
+  EXPECT_TRUE(b.check_invariants());
+}
+
+class BuddyRandomSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BuddyRandomSweep, RandomOpsPreserveInvariants) {
+  BuddyAllocator b(0x4000, 12, 22);  // 4 MiB
+  sim::Rng rng(GetParam());
+  std::vector<std::uint64_t> live;
+  std::uint64_t expected_allocated = 0;
+  std::map<std::uint64_t, std::uint64_t> sizes;
+  for (int step = 0; step < 2000; ++step) {
+    if (live.empty() || rng.next_double() < 0.55) {
+      const std::uint64_t want = 1u << rng.uniform(8, 15);  // up to 32 KiB
+      auto a = b.alloc(want);
+      if (a) {
+        live.push_back(*a);
+        std::uint64_t rounded = 4096;
+        while (rounded < want) rounded <<= 1;
+        sizes[*a] = rounded;
+        expected_allocated += rounded;
+      }
+    } else {
+      const auto idx =
+          static_cast<std::size_t>(rng.uniform(0, live.size() - 1));
+      const std::uint64_t addr = live[idx];
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+      b.free(addr);
+      expected_allocated -= sizes[addr];
+      sizes.erase(addr);
+    }
+    ASSERT_EQ(b.bytes_allocated(), expected_allocated);
+  }
+  EXPECT_TRUE(b.check_invariants());
+  for (auto a : live) b.free(a);
+  EXPECT_EQ(b.bytes_allocated(), 0u);
+  EXPECT_EQ(b.largest_free_block(), b.capacity());
+  EXPECT_TRUE(b.check_invariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BuddyRandomSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 17, 99, 12345));
+
+}  // namespace
+}  // namespace hrt::nk

@@ -1,0 +1,128 @@
+// Cyclic executive builder (paper section 8 future work): frame-size
+// selection, static schedule construction, validation.
+#include <gtest/gtest.h>
+
+#include "rt/cyclic_executive.hpp"
+#include "sim/rng.hpp"
+
+namespace hrt::rt {
+namespace {
+
+using sim::micros;
+
+TEST(CyclicExec, HarmonicSetBuilds) {
+  std::vector<PeriodicTask> s = {{micros(100), micros(25), 0},
+                                 {micros(200), micros(40), 0},
+                                 {micros(400), micros(60), 0}};
+  auto ce = CyclicExecutiveBuilder::build(s);
+  ASSERT_TRUE(ce.has_value());
+  EXPECT_EQ(ce->hyperperiod, micros(400));
+  EXPECT_GT(ce->frame, 0);
+  EXPECT_EQ(ce->hyperperiod % ce->frame, 0);
+  EXPECT_TRUE(ce->valid_for(s));
+}
+
+TEST(CyclicExec, OverloadedSetRejected) {
+  std::vector<PeriodicTask> s = {{micros(100), micros(60), 0},
+                                 {micros(100), micros(60), 0}};
+  EXPECT_FALSE(CyclicExecutiveBuilder::build(s).has_value());
+}
+
+TEST(CyclicExec, MalformedSetRejected) {
+  EXPECT_FALSE(CyclicExecutiveBuilder::build({{0, 10, 0}}).has_value());
+  EXPECT_FALSE(
+      CyclicExecutiveBuilder::build({{100, 200, 0}}).has_value());
+  EXPECT_FALSE(CyclicExecutiveBuilder::build({}).has_value());
+}
+
+TEST(CyclicExec, CandidateFramesSatisfyConstraints) {
+  std::vector<PeriodicTask> s = {{micros(100), micros(20), 0},
+                                 {micros(150), micros(30), 0}};
+  auto frames = CyclicExecutiveBuilder::candidate_frames(s);
+  ASSERT_FALSE(frames.empty());
+  const sim::Nanos h = micros(300);  // lcm(100, 150)
+  for (sim::Nanos f : frames) {
+    EXPECT_EQ(h % f, 0);
+    for (const auto& t : s) {
+      // 2f - gcd(f, tau) <= tau
+      sim::Nanos a = f;
+      sim::Nanos b = t.period;
+      while (b != 0) {
+        const sim::Nanos tmp = a % b;
+        a = b;
+        b = tmp;
+      }
+      EXPECT_LE(2 * f - a, t.period);
+    }
+  }
+  // Largest first.
+  for (std::size_t i = 1; i < frames.size(); ++i) {
+    EXPECT_GT(frames[i - 1], frames[i]);
+  }
+}
+
+TEST(CyclicExec, TaskAtCoversSchedule) {
+  std::vector<PeriodicTask> s = {{micros(100), micros(50), 0},
+                                 {micros(200), micros(80), 0}};
+  auto ce = CyclicExecutiveBuilder::build(s);
+  ASSERT_TRUE(ce.has_value());
+  // Accumulate per-task time over one hyperperiod by sampling task_at.
+  sim::Nanos t0 = 0;
+  sim::Nanos t1 = 0;
+  for (sim::Nanos t = 0; t < ce->hyperperiod; t += 1000) {
+    const int w = ce->task_at(t);
+    if (w == 0) t0 += 1000;
+    if (w == 1) t1 += 1000;
+  }
+  // Task 0: 2 jobs x 50us, task 1: 1 job x 80us per 200us hyperperiod.
+  EXPECT_NEAR(static_cast<double>(t0), micros(100), 4000.0);
+  EXPECT_NEAR(static_cast<double>(t1), micros(80), 4000.0);
+}
+
+TEST(CyclicExec, ValidatorCatchesFrameOverflow) {
+  std::vector<PeriodicTask> s = {{micros(100), micros(30), 0}};
+  CyclicExecutive ce;
+  ce.frame = micros(50);
+  ce.hyperperiod = micros(100);
+  ce.frames = {{FrameEntry{0, micros(60)}}, {}};  // 60 > 50: overflow
+  EXPECT_FALSE(ce.valid_for(s));
+}
+
+TEST(CyclicExec, ValidatorCatchesUnderService) {
+  std::vector<PeriodicTask> s = {{micros(100), micros(30), 0}};
+  CyclicExecutive ce;
+  ce.frame = micros(50);
+  ce.hyperperiod = micros(100);
+  ce.frames = {{FrameEntry{0, micros(10)}}, {}};  // only 10 of 30 delivered
+  EXPECT_FALSE(ce.valid_for(s));
+}
+
+class CyclicExecProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CyclicExecProperty, BuiltSchedulesAlwaysValidate) {
+  sim::Rng rng(GetParam());
+  int built = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<PeriodicTask> s;
+    const int n = static_cast<int>(rng.uniform(1, 4));
+    for (int i = 0; i < n; ++i) {
+      const sim::Nanos tau = micros(50) << rng.uniform(0, 3);
+      const sim::Nanos sigma = std::max<sim::Nanos>(1, tau * rng.uniform(5, 45) / 100);
+      s.push_back({tau, sigma, 0});
+    }
+    auto ce = CyclicExecutiveBuilder::build(s);
+    if (ce) {
+      ++built;
+      EXPECT_TRUE(ce->valid_for(s));
+      // A built cyclic executive implies EDF feasibility.
+      EXPECT_TRUE(edf_admissible(s, 1.0));
+    }
+  }
+  EXPECT_GT(built, 10);  // the generator produces plenty of feasible sets
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CyclicExecProperty,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace hrt::rt

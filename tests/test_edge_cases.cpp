@@ -1,0 +1,289 @@
+// Edge cases across the stack: engine pathologies, scheduler class
+// transitions, sporadic deadline misses, RT thread exit cleanup, interrupt
+// thread overload, APIC re-arm patterns, machine-spec sanity.
+#include <gtest/gtest.h>
+
+#include "nautilus/interrupt_thread.hpp"
+#include "rt/system.hpp"
+
+namespace hrt {
+namespace {
+
+System::Options quiet(std::uint32_t cpus = 4) {
+  System::Options o;
+  o.spec = hw::MachineSpec::phi_small(cpus);
+  o.smi_enabled = false;
+  return o;
+}
+
+// ---------- Engine pathologies ----------
+
+TEST(EngineEdge, CancelFromInsideACallback) {
+  sim::Engine eng;
+  bool second_ran = false;
+  sim::EventId second = eng.schedule_at(20, [&] { second_ran = true; });
+  eng.schedule_at(10, [&] { eng.cancel(second); });
+  eng.run_all();
+  EXPECT_FALSE(second_ran);
+}
+
+TEST(EngineEdge, ScheduleAtCurrentTimeFromCallback) {
+  sim::Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(10, [&] {
+    order.push_back(1);
+    eng.schedule_at(10, [&] { order.push_back(2); });  // same timestamp
+  });
+  eng.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(eng.now(), 10);
+}
+
+TEST(EngineEdge, ManyCancellationsDoNotLeak) {
+  sim::Engine eng;
+  for (int round = 0; round < 100; ++round) {
+    std::vector<sim::EventId> ids;
+    for (int i = 0; i < 100; ++i) {
+      ids.push_back(eng.schedule_at(eng.now() + 10 + i, [] {}));
+    }
+    for (auto id : ids) eng.cancel(id);
+    eng.run_until(eng.now() + 200);
+  }
+  EXPECT_EQ(eng.events_executed(), 0u);
+  EXPECT_TRUE(eng.empty());
+}
+
+// ---------- Scheduler class transitions ----------
+
+TEST(SchedEdge, PeriodicToPeriodicReAdmissionReplacesUtilization) {
+  System sys(quiet());
+  sys.boot();
+  auto b = std::make_unique<nk::FnBehavior>(
+      [](nk::ThreadCtx&, std::uint64_t step) {
+        if (step == 0) {
+          return nk::Action::change_constraints(rt::Constraints::periodic(
+              sim::micros(200), sim::micros(100), sim::micros(60)));
+        }
+        if (step == 30) {
+          // Tighten to 20%: the old 60% must be released, not leaked.
+          return nk::Action::change_constraints(rt::Constraints::periodic(
+              sim::micros(200), sim::micros(100), sim::micros(20)));
+        }
+        return nk::Action::compute(sim::micros(10));
+      });
+  nk::Thread* t = sys.spawn("morph", std::move(b), 1, 10);
+  sys.run_for(sim::millis(20));
+  EXPECT_TRUE(t->last_admit_ok);
+  EXPECT_NEAR(sys.sched(1).admitted_utilization(), 0.2, 1e-9);
+  // Another 50% thread now fits (0.2 + 0.5 < 0.79).
+  auto b2 = std::make_unique<nk::FnBehavior>(
+      [](nk::ThreadCtx&, std::uint64_t step) {
+        if (step == 0) {
+          return nk::Action::change_constraints(rt::Constraints::periodic(
+              sim::micros(200), sim::micros(100), sim::micros(50)));
+        }
+        return nk::Action::compute(sim::micros(10));
+      });
+  nk::Thread* t2 = sys.spawn("second", std::move(b2), 1, 10);
+  sys.run_for(sim::millis(5));
+  EXPECT_TRUE(t2->last_admit_ok);
+}
+
+TEST(SchedEdge, RtThreadExitWhilePendingCleansQueues) {
+  System sys(quiet());
+  sys.boot();
+  // Large phase: the thread is admitted and sits pending, then exits
+  // before its first arrival (behavior exits right after admission).
+  auto b = std::make_unique<nk::FnBehavior>(
+      [](nk::ThreadCtx&, std::uint64_t step) {
+        if (step == 0) {
+          return nk::Action::change_constraints(rt::Constraints::periodic(
+              sim::millis(50), sim::millis(1), sim::micros(200)));
+        }
+        return nk::Action::exit();  // runs at first arrival
+      });
+  nk::Thread* t = sys.spawn("brief", std::move(b), 1, 10);
+  sys.run_for(sim::millis(60));
+  EXPECT_EQ(t->state, nk::Thread::State::kPooled);
+  EXPECT_EQ(sys.sched(1).pending_count(), 0u);
+  EXPECT_NEAR(sys.sched(1).admitted_utilization(), 0.0, 1e-9);
+}
+
+TEST(SchedEdge, SporadicDeadlineMissIsRecorded) {
+  System::Options o = quiet();
+  o.sched.admission_enabled = false;  // density far above the reservation
+  System sys(std::move(o));
+  sys.boot();
+  // 200 us of work due 250 us after admission is feasible in isolation —
+  // but a 100 us SMI lands mid-service and cannot be absorbed.
+  auto b = std::make_unique<nk::FnBehavior>(
+      [](nk::ThreadCtx&, std::uint64_t step) {
+        if (step == 0) {
+          return nk::Action::change_constraints(rt::Constraints::sporadic(
+              sim::micros(50), sim::micros(200), sim::micros(250)));
+        }
+        return nk::Action::compute(sim::micros(50));
+      });
+  nk::Thread* t = sys.spawn("late", std::move(b), 1, 10);
+  sys.run_for(sim::micros(200));
+  sys.machine().smi().force(sim::micros(100));
+  sys.run_for(sim::millis(5));
+  EXPECT_EQ(t->rt.arrivals, 1u);
+  EXPECT_EQ(t->rt.misses, 1u);
+  // Section 3.6 semantics: the frozen window is charged against the budget
+  // (software cannot tell missing time from execution), so the *recorded*
+  // lateness is only the overshoot past the deadline at budget exhaustion —
+  // small — while the application actually lost the whole SMI of real work.
+  EXPECT_GT(t->rt.miss_ns.mean(), 0.0);
+  EXPECT_LT(t->rt.miss_ns.mean(), 30e3);
+  // Tail behavior still applies: the thread continues as aperiodic.
+  EXPECT_EQ(t->constraints.cls, rt::ConstraintClass::kAperiodic);
+}
+
+TEST(SchedEdge, ManyThreadsOnOneCpuStayBounded) {
+  System::Options o = quiet();
+  o.sched.aperiodic_quantum = sim::micros(500);
+  System sys(std::move(o));
+  sys.boot();
+  std::vector<nk::Thread*> threads;
+  for (int i = 0; i < 40; ++i) {
+    threads.push_back(sys.spawn(
+        "w" + std::to_string(i),
+        std::make_unique<nk::BusyLoopBehavior>(sim::micros(50)), 1));
+  }
+  sys.run_for(sim::millis(100));
+  sys.sync_accounting();
+  // Everyone makes progress under RR.
+  for (nk::Thread* t : threads) {
+    EXPECT_GT(t->total_cpu_ns, sim::micros(500)) << t->name;
+  }
+  // Pass cost grew with queue length but stayed bounded.
+  const auto& oh = sys.kernel().executor(1).overheads();
+  EXPECT_LT(oh.pass.mean(), 4000.0);
+}
+
+TEST(SchedEdge, ThreadLimitEnforced) {
+  System::Options o = quiet();
+  o.sched.max_threads = 4;
+  System sys(std::move(o));
+  sys.boot();
+  // Capacity 4 bounds the *queued* threads; the running one is not queued,
+  // so the fifth spawn fits and the sixth overflows.
+  for (int i = 0; i < 5; ++i) {
+    sys.spawn("w" + std::to_string(i),
+              std::make_unique<nk::BusyLoopBehavior>(sim::micros(50)), 1);
+  }
+  EXPECT_THROW(
+      sys.spawn("overflow",
+                std::make_unique<nk::BusyLoopBehavior>(sim::micros(50)), 1),
+      std::runtime_error);
+}
+
+// ---------- Interrupt thread overload ----------
+
+TEST(InterruptThreadEdge, BacklogGrowsWhenBottomHalfCannotKeepUp) {
+  System sys(quiet());
+  auto& dev = sys.machine().add_device(0x48, hw::Device::Arrival::kPeriodic,
+                                       sim::micros(50));
+  sys.boot();
+  // Bottom half costs 100 us per interrupt but they arrive every 50 us.
+  nk::InterruptThread it(sys.kernel(), 0, 130'000);
+  it.attach_vector(0x48, 800);
+  sys.kernel().apply_interrupt_partition();
+  dev.start();
+  sys.run_for(sim::millis(20));
+  EXPECT_GT(it.backlog(), 50u);  // overload is visible, not silent
+  dev.stop();
+  sys.run_for(sim::millis(60));
+  EXPECT_EQ(it.backlog(), 0u);  // and drains once the storm stops
+}
+
+// ---------- Machine spec sanity ----------
+
+TEST(SpecEdge, R415FasterThanPhiInEveryPathLength) {
+  const auto phi = hw::MachineSpec::phi();
+  const auto r = hw::MachineSpec::r415();
+  EXPECT_LT(r.cost.irq_dispatch, phi.cost.irq_dispatch);
+  EXPECT_LT(r.cost.sched_pass_base, phi.cost.sched_pass_base);
+  EXPECT_LT(r.cost.context_switch, phi.cost.context_switch);
+  EXPECT_LT(r.cost.sched_other, phi.cost.sched_other);
+  EXPECT_LT(r.cost.atomic_rmw, phi.cost.atomic_rmw);
+  EXPECT_GT(r.freq.hz(), phi.freq.hz());
+  EXPECT_LT(r.num_cpus, phi.num_cpus);
+}
+
+TEST(SpecEdge, PhiSmallKeepsCostsIdentical) {
+  const auto full = hw::MachineSpec::phi();
+  const auto small = hw::MachineSpec::phi_small(4);
+  EXPECT_EQ(small.num_cpus, 4u);
+  EXPECT_EQ(small.cost.sched_pass_base, full.cost.sched_pass_base);
+  EXPECT_EQ(small.freq.hz(), full.freq.hz());
+}
+
+// ---------- NUMA placement ----------
+
+TEST(NumaEdge, ThreadStateAllocatedInOwningZone) {
+  System::Options o = quiet(8);
+  o.spec.num_cpus = 8;
+  System sys(std::move(o));
+  // Configure 2 zones via the kernel options path: System does not expose
+  // numa_zones directly, so verify the default single-zone case here and
+  // the multi-zone case through a raw kernel below.
+  sys.boot();
+  nk::Thread* t = sys.spawn(
+      "z", std::make_unique<nk::BusyLoopBehavior>(sim::micros(10)), 3);
+  EXPECT_NE(t->state_addr, 0u);
+  EXPECT_EQ(t->state_zone, 0u);
+  EXPECT_GT(sys.kernel().zone_arena(0).bytes_allocated(), 0u);
+}
+
+TEST(NumaEdge, TwoZoneKernelSplitsAllocations) {
+  hw::MachineSpec spec = hw::MachineSpec::phi_small(8);
+  spec.smi.enabled = false;
+  hw::Machine m(spec, 42);
+  nk::Kernel::Options ko;
+  ko.scheduler_factory =
+      rt::make_scheduler_factory(rt::LocalScheduler::Config{});
+  ko.numa_zones = 2;
+  nk::Kernel k(m, std::move(ko));
+  k.boot();
+  nk::Thread* low = k.create_thread(
+      "low", std::make_unique<nk::BusyLoopBehavior>(sim::micros(10)), 1);
+  nk::Thread* high = k.create_thread(
+      "high", std::make_unique<nk::BusyLoopBehavior>(sim::micros(10)), 6);
+  EXPECT_EQ(low->state_zone, 0u);
+  EXPECT_EQ(high->state_zone, 1u);
+  EXPECT_NE(low->state_addr, high->state_addr);
+  // Arena bases are disjoint.
+  EXPECT_NE(k.zone_arena(0).base(), k.zone_arena(1).base());
+}
+
+// ---------- Sleep precision ----------
+
+TEST(SleepEdge, SleepWakesWithinTimerResolution) {
+  System sys(quiet());
+  sys.boot();
+  std::vector<sim::Nanos> overshoot;
+  auto b = std::make_unique<nk::FnBehavior>(
+      [&overshoot, asleep_at = sim::Nanos{0}](nk::ThreadCtx& c,
+                                              std::uint64_t step) mutable {
+        if (step >= 40) return nk::Action::exit();
+        if (step % 2 == 0) {
+          asleep_at = c.kernel.machine().engine().now();
+          return nk::Action::sleep(sim::micros(37));
+        }
+        overshoot.push_back(c.kernel.machine().engine().now() - asleep_at -
+                            sim::micros(37));
+        return nk::Action::compute(sim::micros(5));
+      });
+  sys.spawn("napper", std::move(b), 1);
+  sys.run_for(sim::millis(10));
+  ASSERT_GE(overshoot.size(), 15u);
+  for (sim::Nanos ov : overshoot) {
+    EXPECT_GE(ov, -sim::micros(1));      // never woken meaningfully early
+    EXPECT_LT(ov, sim::micros(15));      // handler + tick bound the lateness
+  }
+}
+
+}  // namespace
+}  // namespace hrt

@@ -1,0 +1,232 @@
+// Tests for the extension modules: the interrupt thread (section 3.5's
+// second steering mechanism), the cyclic-executive scheduler (section 8
+// future work, running on the simulated machine), and trace export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nautilus/interrupt_thread.hpp"
+#include "rt/ce_scheduler.hpp"
+#include "rt/system.hpp"
+#include "sim/trace_export.hpp"
+
+namespace hrt {
+namespace {
+
+// ---------- InterruptThread ----------
+
+System::Options quiet(std::uint32_t cpus = 4) {
+  System::Options o;
+  o.spec = hw::MachineSpec::phi_small(cpus);
+  o.smi_enabled = false;
+  return o;
+}
+
+TEST(InterruptThread, ProcessesBacklogAndSleeps) {
+  System sys(quiet());
+  auto& dev = sys.machine().add_device(0x48, hw::Device::Arrival::kPeriodic,
+                                       sim::micros(200));
+  sys.boot();
+  nk::InterruptThread it(sys.kernel(), 0, /*bottom_half=*/8000);
+  it.attach_vector(0x48, /*top_half=*/800);
+  sys.kernel().apply_interrupt_partition();
+  dev.start();
+  sys.run_for(sim::millis(20));
+  EXPECT_GT(it.interrupts_queued(), 90u);
+  EXPECT_EQ(it.backlog(), 0u);  // the bottom half keeps up
+  EXPECT_EQ(it.interrupts_processed(), it.interrupts_queued());
+}
+
+TEST(InterruptThread, BottomHalfYieldsToRtThread) {
+  System sys(quiet());
+  auto& dev = sys.machine().add_device(0x48, hw::Device::Arrival::kPoisson,
+                                       sim::micros(100));
+  sys.boot();
+  nk::InterruptThread it(sys.kernel(), 0, 20000);
+  it.attach_vector(0x48, 800);
+  sys.kernel().apply_interrupt_partition();
+  dev.start();
+  // RT thread on the SAME interrupt-laden CPU: TPR steering defers the top
+  // halves and the bottom half is just an aperiodic thread, so deadlines
+  // hold.
+  auto b = std::make_unique<nk::FnBehavior>(
+      [](nk::ThreadCtx&, std::uint64_t step) {
+        if (step == 0) {
+          return nk::Action::change_constraints(rt::Constraints::periodic(
+              sim::millis(1), sim::micros(200), sim::micros(80)));
+        }
+        return nk::Action::compute(sim::micros(40));
+      });
+  nk::Thread* t = sys.spawn("rt", std::move(b), 0, 10);
+  sys.run_for(sim::millis(100));
+  ASSERT_TRUE(t->last_admit_ok);
+  EXPECT_EQ(t->rt.misses, 0u);
+  EXPECT_GT(it.interrupts_processed(), 500u);
+}
+
+TEST(InterruptThread, WakeThreadOnNonSleepingIsFalse) {
+  System sys(quiet());
+  sys.boot();
+  nk::Thread* t = sys.spawn(
+      "w", std::make_unique<nk::BusyLoopBehavior>(sim::micros(10)), 1);
+  sys.run_for(sim::millis(1));
+  EXPECT_FALSE(sys.kernel().wake_thread(t));
+}
+
+// ---------- CyclicExecutiveScheduler ----------
+
+struct CeFixture : ::testing::Test {
+  void build(std::vector<rt::PeriodicTask> tasks) {
+    tasks_ = std::move(tasks);
+    auto ce = rt::CyclicExecutiveBuilder::build(tasks_);
+    ASSERT_TRUE(ce.has_value());
+    hw::MachineSpec spec = hw::MachineSpec::phi_small(2);
+    spec.smi.enabled = false;
+    machine_ = std::make_unique<hw::Machine>(spec, 42);
+    nk::Kernel::Options ko;
+    ko.scheduler_factory =
+        rt::CyclicExecutiveScheduler::factory(*ce, tasks_);
+    kernel_ = std::make_unique<nk::Kernel>(*machine_, std::move(ko));
+    kernel_->boot();
+  }
+
+  nk::Thread* claim_slot(std::size_t i, sim::Nanos chunk = sim::micros(10)) {
+    auto b = std::make_unique<nk::FnBehavior>(
+        [c = rt::Constraints::periodic(0, tasks_[i].period, tasks_[i].slice),
+         chunk](nk::ThreadCtx&, std::uint64_t step) {
+          if (step == 0) return nk::Action::change_constraints(c);
+          return nk::Action::compute(chunk);
+        });
+    return kernel_->create_thread("slot" + std::to_string(i), std::move(b),
+                                  1);
+  }
+
+  rt::CyclicExecutiveScheduler& sched() {
+    return static_cast<rt::CyclicExecutiveScheduler&>(kernel_->scheduler(1));
+  }
+
+  std::vector<rt::PeriodicTask> tasks_;
+  std::unique_ptr<hw::Machine> machine_;
+  std::unique_ptr<nk::Kernel> kernel_;
+};
+
+TEST_F(CeFixture, ActivatesWhenAllSlotsClaimed) {
+  build({{sim::micros(100), sim::micros(30), 0},
+         {sim::micros(200), sim::micros(50), 0}});
+  nk::Thread* a = claim_slot(0);
+  machine_->engine().run_until(sim::millis(1));
+  EXPECT_TRUE(a->last_admit_ok);
+  EXPECT_FALSE(sched().active());  // one slot still open
+  claim_slot(1);
+  machine_->engine().run_until(sim::millis(2));
+  EXPECT_TRUE(sched().active());
+  EXPECT_EQ(sched().epoch() % sim::micros(200), 0);  // hyperperiod aligned
+}
+
+TEST_F(CeFixture, SlotsReceiveTheirStaticShares) {
+  build({{sim::micros(100), sim::micros(30), 0},
+         {sim::micros(200), sim::micros(50), 0}});
+  nk::Thread* a = claim_slot(0);
+  nk::Thread* b = claim_slot(1);
+  machine_->engine().run_until(sim::millis(52));
+  kernel_->executor(1).sync_run_span();
+  // ~50 ms of active executive: slot0 30%, slot1 25%.
+  EXPECT_NEAR(static_cast<double>(a->total_cpu_ns), 15e6, 1.2e6);
+  EXPECT_NEAR(static_cast<double>(b->total_cpu_ns), 12.5e6, 1.2e6);
+}
+
+TEST_F(CeFixture, NonMatchingConstraintRejected) {
+  build({{sim::micros(100), sim::micros(30), 0}});
+  auto bb = std::make_unique<nk::FnBehavior>(
+      [](nk::ThreadCtx&, std::uint64_t step) {
+        if (step == 0) {
+          return nk::Action::change_constraints(rt::Constraints::periodic(
+              0, sim::micros(100), sim::micros(40)));  // no such slot
+        }
+        return nk::Action::exit();
+      });
+  nk::Thread* t = kernel_->create_thread("bad", std::move(bb), 1);
+  machine_->engine().run_until(sim::millis(1));
+  EXPECT_FALSE(t->last_admit_ok);
+}
+
+TEST_F(CeFixture, DuplicateClaimRejected) {
+  build({{sim::micros(100), sim::micros(30), 0},
+         {sim::micros(200), sim::micros(50), 0}});
+  nk::Thread* a = claim_slot(0);
+  machine_->engine().run_until(sim::millis(1));
+  nk::Thread* dup = claim_slot(0);
+  machine_->engine().run_until(sim::millis(2));
+  EXPECT_TRUE(a->last_admit_ok);
+  EXPECT_FALSE(dup->last_admit_ok);
+  EXPECT_NEAR(sched().admitted_utilization(), 0.3, 1e-9);
+}
+
+TEST_F(CeFixture, AperiodicThreadsFillIdleSegments) {
+  build({{sim::micros(100), sim::micros(30), 0}});
+  claim_slot(0);
+  nk::Thread* bg = kernel_->create_thread(
+      "bg", std::make_unique<nk::BusyLoopBehavior>(sim::micros(20)), 1);
+  machine_->engine().run_until(sim::millis(50));
+  kernel_->executor(1).sync_run_span();
+  // Slot takes 30%; background gets most of the rest.
+  EXPECT_GT(bg->total_cpu_ns, sim::millis(25));
+}
+
+TEST_F(CeFixture, ExitedSlotThreadLeavesIdleSegment) {
+  build({{sim::micros(100), sim::micros(30), 0}});
+  auto b = std::make_unique<nk::FnBehavior>(
+      [this](nk::ThreadCtx&, std::uint64_t step) {
+        if (step == 0) {
+          return nk::Action::change_constraints(rt::Constraints::periodic(
+              0, tasks_[0].period, tasks_[0].slice));
+        }
+        if (step < 10) return nk::Action::compute(sim::micros(10));
+        return nk::Action::exit();
+      });
+  kernel_->create_thread("short", std::move(b), 1);
+  machine_->engine().run_until(sim::millis(20));
+  EXPECT_NEAR(sched().admitted_utilization(), 0.0, 1e-9);
+}
+
+// ---------- Trace export ----------
+
+TEST(TraceExport, CsvContainsAllRecords) {
+  sim::Trace trace;
+  trace.enable();
+  trace.record(100, 1, sim::TraceKind::kSwitch, 7);
+  trace.record(200, 2, sim::TraceKind::kPin, 3);
+  std::ostringstream os;
+  sim::export_csv(trace, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("time_ns,cpu,kind,value"), std::string::npos);
+  EXPECT_NE(out.find("100,1,switch,7"), std::string::npos);
+  EXPECT_NE(out.find("200,2,pin,3"), std::string::npos);
+}
+
+TEST(TraceExport, VcdHasHeaderAndTransitions) {
+  sim::Trace trace;
+  trace.enable();
+  // pin 0 high at t=10, low at t=50; pin 2 high at t=50.
+  trace.record(10, 0, sim::TraceKind::kPin, (0 << 1) | 1);
+  trace.record(50, 0, sim::TraceKind::kPin, (0 << 1) | 0);
+  trace.record(50, 0, sim::TraceKind::kPin, (2 << 1) | 1);
+  trace.record(60, 1, sim::TraceKind::kPin, (1 << 1) | 1);  // other cpu
+  std::ostringstream os;
+  sim::export_pins_vcd(trace, 0, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("$timescale 1ns $end"), std::string::npos);
+  EXPECT_NE(out.find("$var wire 1 ! pin0 $end"), std::string::npos);
+  EXPECT_NE(out.find("#10\n1!"), std::string::npos);
+  EXPECT_NE(out.find("#50\n0!\n1#"), std::string::npos);
+  EXPECT_EQ(out.find("#60"), std::string::npos);  // cpu 1 excluded
+}
+
+TEST(TraceExport, KindNamesStable) {
+  EXPECT_STREQ(sim::trace_kind_name(sim::TraceKind::kIrqEnter), "irq_enter");
+  EXPECT_STREQ(sim::trace_kind_name(sim::TraceKind::kSchedPass),
+               "sched_pass");
+}
+
+}  // namespace
+}  // namespace hrt

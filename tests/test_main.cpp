@@ -1,0 +1,4 @@
+// Placeholder aggregator; real test files are added as modules land.
+#include <gtest/gtest.h>
+
+TEST(Scaffold, Builds) { SUCCEED(); }

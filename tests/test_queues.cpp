@@ -1,0 +1,110 @@
+// BoundedHeap: correctness against a reference model, capacity bounds,
+// arbitrary removal, extract_if.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "rt/queues.hpp"
+#include "sim/rng.hpp"
+
+namespace hrt::rt {
+namespace {
+
+struct Less {
+  bool operator()(int a, int b) const { return a < b; }
+};
+
+TEST(BoundedHeap, PopsInOrder) {
+  BoundedHeap<int, Less> h(16);
+  for (int v : {5, 1, 9, 3, 7}) EXPECT_TRUE(h.push(v));
+  std::vector<int> out;
+  while (!h.empty()) out.push_back(h.pop());
+  EXPECT_EQ(out, (std::vector<int>{1, 3, 5, 7, 9}));
+}
+
+TEST(BoundedHeap, CapacityEnforced) {
+  BoundedHeap<int, Less> h(3);
+  EXPECT_TRUE(h.push(1));
+  EXPECT_TRUE(h.push(2));
+  EXPECT_TRUE(h.push(3));
+  EXPECT_FALSE(h.push(4));
+  EXPECT_EQ(h.size(), 3u);
+}
+
+TEST(BoundedHeap, TopDoesNotRemove) {
+  BoundedHeap<int, Less> h(4);
+  ASSERT_TRUE(h.push(2));
+  ASSERT_TRUE(h.push(1));
+  EXPECT_EQ(h.top(), 1);
+  EXPECT_EQ(h.size(), 2u);
+}
+
+TEST(BoundedHeap, EmptyAccessThrows) {
+  BoundedHeap<int, Less> h(4);
+  EXPECT_THROW((void)h.top(), std::logic_error);
+  EXPECT_THROW(h.pop(), std::logic_error);
+}
+
+TEST(BoundedHeap, RemoveArbitraryElement) {
+  BoundedHeap<int, Less> h(8);
+  for (int v : {4, 2, 6, 1, 5}) ASSERT_TRUE(h.push(v));
+  EXPECT_TRUE(h.remove(6));
+  EXPECT_FALSE(h.remove(42));
+  std::vector<int> out;
+  while (!h.empty()) out.push_back(h.pop());
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 4, 5}));
+}
+
+TEST(BoundedHeap, ExtractIfFindsMatchingElement) {
+  BoundedHeap<int, Less> h(8);
+  for (int v : {3, 8, 5, 12}) ASSERT_TRUE(h.push(v));
+  const int got = h.extract_if([](int v) { return v > 6; });
+  EXPECT_TRUE(got == 8 || got == 12);
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_EQ(h.extract_if([](int v) { return v > 100; }), 0);  // T{}
+}
+
+TEST(BoundedHeap, ForEachVisitsAll) {
+  BoundedHeap<int, Less> h(8);
+  for (int v : {3, 8, 5}) ASSERT_TRUE(h.push(v));
+  int sum = 0;
+  h.for_each([&sum](int v) { sum += v; });
+  EXPECT_EQ(sum, 16);
+}
+
+class HeapRandomSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HeapRandomSweep, MatchesReferenceModel) {
+  BoundedHeap<int, Less> h(64);
+  std::vector<int> model;
+  sim::Rng rng(GetParam());
+  for (int step = 0; step < 3000; ++step) {
+    const double p = rng.next_double();
+    if (p < 0.5 && model.size() < 64) {
+      const int v = static_cast<int>(rng.uniform(0, 1000));
+      ASSERT_TRUE(h.push(v));
+      model.push_back(v);
+    } else if (p < 0.8 && !model.empty()) {
+      const int got = h.pop();
+      auto it = std::min_element(model.begin(), model.end());
+      ASSERT_EQ(got, *it);
+      model.erase(it);
+    } else if (!model.empty()) {
+      const auto idx =
+          static_cast<std::size_t>(rng.uniform(0, model.size() - 1));
+      ASSERT_TRUE(h.remove(model[idx]));
+      model.erase(model.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    ASSERT_EQ(h.size(), model.size());
+    if (!model.empty()) {
+      ASSERT_EQ(h.top(), *std::min_element(model.begin(), model.end()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeapRandomSweep,
+                         ::testing::Values(1, 7, 13, 21, 42, 1001));
+
+}  // namespace
+}  // namespace hrt::rt

@@ -1,0 +1,164 @@
+// The miniature parallel run-time (runtime/team.hpp): correctness of both
+// dispatch modes, sequential jobs, skewed-load balancing, and the hard
+// real-time team mode.
+#include <gtest/gtest.h>
+
+#include "runtime/team.hpp"
+
+namespace hrt::nrt {
+namespace {
+
+System::Options quiet(std::uint32_t cpus = 6) {
+  System::Options o;
+  o.spec = hw::MachineSpec::phi_small(cpus);
+  o.smi_enabled = false;
+  o.sched.sporadic_reservation = 0.04;
+  o.sched.aperiodic_reservation = 0.05;
+  return o;
+}
+
+TEST(Team, StaticDispatchRunsEveryIteration) {
+  System sys(quiet());
+  sys.boot();
+  TeamRuntime team(sys, TeamRuntime::Options{.workers = 4});
+  Job& job = team.parallel_for(1000, sim::micros(2), Dispatch::kStatic, 32);
+  ASSERT_TRUE(team.wait(job));
+  EXPECT_EQ(job.iterations_run(), 1000u);
+  EXPECT_GT(job.makespan(), 0);
+  // 1000 x 2us over 4 workers = ~500us ideal.
+  EXPECT_LT(job.makespan(), sim::micros(700));
+}
+
+TEST(Team, GuidedDispatchRunsEveryIterationOnce) {
+  System sys(quiet());
+  sys.boot();
+  TeamRuntime team(sys, TeamRuntime::Options{.workers = 4});
+  Job& job = team.parallel_for(1000, sim::micros(2), Dispatch::kGuided, 16);
+  ASSERT_TRUE(team.wait(job));
+  EXPECT_EQ(job.iterations_run(), 1000u);
+}
+
+TEST(Team, SequentialJobsRunInOrder) {
+  System sys(quiet());
+  sys.boot();
+  TeamRuntime team(sys, TeamRuntime::Options{.workers = 3});
+  Job& j1 = team.parallel_for(300, sim::micros(1));
+  Job& j2 = team.parallel_for(300, sim::micros(1));
+  ASSERT_TRUE(team.wait(j2));
+  EXPECT_TRUE(j1.done());
+  EXPECT_EQ(j1.iterations_run(), 300u);
+  EXPECT_EQ(j2.iterations_run(), 300u);
+  EXPECT_GE(j2.finish_time(), j1.finish_time());
+}
+
+TEST(Team, JobSubmittedAfterWorkersParked) {
+  System sys(quiet());
+  sys.boot();
+  TeamRuntime team(sys, TeamRuntime::Options{.workers = 3});
+  sys.run_for(sim::millis(5));  // workers spin waiting for work
+  Job& job = team.parallel_for(120, sim::micros(3));
+  ASSERT_TRUE(team.wait(job));
+  EXPECT_EQ(job.iterations_run(), 120u);
+}
+
+TEST(Team, GuidedBeatsStaticOnSkewedLoad) {
+  // Iteration cost ramps steeply: a static split gives the last worker far
+  // more work; guided chunking evens it out.
+  auto skewed = [](std::uint64_t i) {
+    return sim::Nanos{200} + static_cast<sim::Nanos>(i * i / 300);
+  };
+  auto run = [&](Dispatch d) {
+    System sys(quiet());
+    sys.boot();
+    TeamRuntime team(sys, TeamRuntime::Options{.workers = 4});
+    Job& job = team.parallel_for(1200, skewed, d, 16);
+    EXPECT_TRUE(team.wait(job));
+    return std::pair{job.makespan(), job.imbalance()};
+  };
+  const auto [t_static, imb_static] = run(Dispatch::kStatic);
+  const auto [t_guided, imb_guided] = run(Dispatch::kGuided);
+  EXPECT_GT(imb_static, 1.5);             // static split is badly skewed
+  EXPECT_LT(imb_guided, 1.15);            // guided evens out
+  EXPECT_LT(t_guided, t_static * 3 / 4);  // and finishes much earlier
+}
+
+TEST(Team, HardRtTeamAdmitsAndCompletes) {
+  System sys(quiet());
+  sys.boot();
+  TeamRuntime::Options o;
+  o.workers = 4;
+  o.hard_rt = true;
+  o.period = sim::micros(500);
+  o.slice = sim::micros(400);
+  TeamRuntime team(sys, o);
+  Job& job = team.parallel_for(800, sim::micros(2), Dispatch::kStatic, 32);
+  ASSERT_TRUE(team.wait(job, sim::seconds(2)));
+  EXPECT_TRUE(team.admission_ok());
+  EXPECT_EQ(job.iterations_run(), 800u);
+  for (nk::Thread* t : team.worker_threads()) {
+    EXPECT_EQ(t->constraints.cls, rt::ConstraintClass::kPeriodic);
+    EXPECT_EQ(t->rt.misses, 0u);
+  }
+}
+
+TEST(Team, HardRtThrottlingScalesJobTime) {
+  auto run_at = [](sim::Nanos slice) {
+    System sys(quiet());
+    sys.boot();
+    TeamRuntime::Options o;
+    o.workers = 4;
+    o.hard_rt = true;
+    o.period = sim::micros(1000);
+    o.slice = slice;
+    TeamRuntime team(sys, o);
+    Job& job = team.parallel_for(2000, sim::micros(2));
+    EXPECT_TRUE(team.wait(job, sim::seconds(2)));
+    return job.makespan();
+  };
+  const sim::Nanos full = run_at(sim::micros(800));
+  const sim::Nanos half = run_at(sim::micros(400));
+  EXPECT_NEAR(static_cast<double>(half) / static_cast<double>(full), 2.0,
+              0.35);
+}
+
+TEST(Team, RtTeamIsolatedFromBackgroundNoise) {
+  System sys(quiet());
+  sys.boot();
+  // Aperiodic load on every team CPU.
+  for (std::uint32_t c = 1; c <= 4; ++c) {
+    sys.spawn("noise" + std::to_string(c),
+              std::make_unique<nk::BusyLoopBehavior>(sim::micros(40)), c);
+  }
+  TeamRuntime::Options o;
+  o.workers = 4;
+  o.hard_rt = true;
+  o.period = sim::micros(500);
+  o.slice = sim::micros(300);
+  TeamRuntime team(sys, o);
+  Job& job = team.parallel_for(1000, sim::micros(2));
+  ASSERT_TRUE(team.wait(job, sim::seconds(2)));
+  // The team got its 60% share; the job time reflects that share, noise or
+  // not (within jitter).
+  const double ideal =
+      1000.0 * 2000.0 / 4.0 / 0.6;  // iters * cost / workers / share
+  EXPECT_NEAR(static_cast<double>(job.makespan()), ideal, ideal * 0.25);
+}
+
+TEST(Team, ZeroIterationJobCompletes) {
+  System sys(quiet());
+  sys.boot();
+  TeamRuntime team(sys, TeamRuntime::Options{.workers = 3});
+  Job& job = team.parallel_for(0, sim::micros(1));
+  ASSERT_TRUE(team.wait(job));
+  EXPECT_EQ(job.iterations_run(), 0u);
+}
+
+TEST(Team, TooManyWorkersThrows) {
+  System sys(quiet(3));
+  sys.boot();
+  EXPECT_THROW(TeamRuntime(sys, TeamRuntime::Options{.workers = 8}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hrt::nrt

@@ -1,0 +1,339 @@
+// Unit tests for the simulation core: time conversion, event engine,
+// deterministic RNG, statistics, histogram, scope analyzer.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/histogram.hpp"
+#include "sim/rng.hpp"
+#include "sim/scope.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace hrt::sim {
+namespace {
+
+// ---------- Frequency ----------
+
+TEST(Frequency, RoundTripAtPhiClock) {
+  const Frequency f(1'300'000'000);
+  EXPECT_EQ(f.cycles_to_ns(1'300'000'000), kNanosPerSecond);
+  EXPECT_EQ(f.ns_to_cycles(kNanosPerSecond), 1'300'000'000);
+  EXPECT_EQ(f.ns_to_cycles(micros(10)), 13'000);  // the paper's 10us = 13k cy
+}
+
+TEST(Frequency, FloorConversionNeverLate) {
+  const Frequency f(1'300'000'000);
+  for (Nanos ns = 1; ns < 1000; ns += 7) {
+    const Cycles c = f.ns_to_cycles_floor(ns);
+    EXPECT_LE(f.cycles_to_ns(c), ns + 1);  // floor never overshoots
+  }
+}
+
+TEST(Frequency, CeilConversionCoversCycles) {
+  const Frequency f(2'200'000'000);
+  for (Cycles c = 1; c < 10000; c += 97) {
+    EXPECT_GE(f.ns_to_cycles(f.cycles_to_ns_ceil(c)), c);
+  }
+}
+
+TEST(Frequency, LargeValuesNoOverflow) {
+  const Frequency f(2'200'000'000);
+  const Nanos day = seconds(86'400);
+  const Cycles c = f.ns_to_cycles(day);
+  EXPECT_GT(c, 0);
+  EXPECT_NEAR(static_cast<double>(f.cycles_to_ns(c)),
+              static_cast<double>(day), 1.0);
+}
+
+class FrequencySweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(FrequencySweep, ConversionsMonotone) {
+  const Frequency f(GetParam());
+  Cycles prev = -1;
+  for (Nanos ns = 0; ns < 2000; ns += 13) {
+    const Cycles c = f.ns_to_cycles(ns);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Clocks, FrequencySweep,
+                         ::testing::Values(1'000'000'000, 1'300'000'000,
+                                           2'200'000'000, 3'500'000'000));
+
+// ---------- Engine ----------
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(30, [&] { order.push_back(3); });
+  eng.schedule_at(10, [&] { order.push_back(1); });
+  eng.schedule_at(20, [&] { order.push_back(2); });
+  eng.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), 30);
+}
+
+TEST(Engine, SameTimeFifoWithinBand) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    eng.schedule_at(10, [&order, i] { order.push_back(i); });
+  }
+  eng.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, BandsOrderSimultaneousEvents) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(10, [&] { order.push_back(2); }, EventBand::kDefault);
+  eng.schedule_at(10, [&] { order.push_back(0); }, EventBand::kSmi);
+  eng.schedule_at(10, [&] { order.push_back(3); }, EventBand::kObserver);
+  eng.schedule_at(10, [&] { order.push_back(1); }, EventBand::kHardware);
+  eng.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine eng;
+  bool ran = false;
+  EventId id = eng.schedule_at(10, [&] { ran = true; });
+  eng.cancel(id);
+  eng.run_all();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(eng.events_executed(), 0u);
+}
+
+TEST(Engine, CancelIsIdempotentAndSafeOnInvalid) {
+  Engine eng;
+  eng.cancel(EventId{});      // invalid
+  EventId id = eng.schedule_at(5, [] {});
+  eng.cancel(id);
+  eng.cancel(id);             // double cancel
+  EXPECT_EQ(eng.run_all(), 0u);
+}
+
+TEST(Engine, RunUntilStopsAtHorizonAndAdvancesClock) {
+  Engine eng;
+  int count = 0;
+  for (Nanos t = 10; t <= 100; t += 10) {
+    eng.schedule_at(t, [&] { ++count; });
+  }
+  eng.run_until(55);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(eng.now(), 55);
+  eng.run_until(200);
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(eng.now(), 200);  // clock reaches the horizon past last event
+}
+
+TEST(Engine, EventsScheduledFromCallbacksRun) {
+  Engine eng;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) eng.schedule_after(5, recurse);
+  };
+  eng.schedule_at(0, recurse);
+  eng.run_all();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(eng.now(), 45);
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  Engine eng;
+  eng.schedule_at(100, [] {});
+  eng.run_all();
+  EXPECT_THROW(eng.schedule_at(50, [] {}), std::logic_error);
+}
+
+TEST(Engine, StepExecutesExactlyOne) {
+  Engine eng;
+  int count = 0;
+  eng.schedule_at(1, [&] { ++count; });
+  eng.schedule_at(2, [&] { ++count; });
+  EXPECT_TRUE(eng.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(eng.step());
+  EXPECT_FALSE(eng.step());
+  EXPECT_EQ(count, 2);
+}
+
+// ---------- Rng ----------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(1234);
+  Rng b(1234);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.uniform(-5, 12);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 12);
+  }
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect) {
+  Rng r(99);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(r.normal(10.0, 3.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Rng r(5);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(r.exponential(250.0));
+  EXPECT_NEAR(s.mean(), 250.0, 10.0);
+}
+
+TEST(Rng, JitteredRespectsFloorAndMean) {
+  Rng r(11);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = r.jittered(1000, 0.1);
+    EXPECT_GE(v, 500);  // min_fraction default 0.5
+    s.add(static_cast<double>(v));
+  }
+  EXPECT_NEAR(s.mean(), 1000.0, 10.0);
+}
+
+TEST(Rng, JitterDisabledReturnsBase) {
+  Rng r(1);
+  EXPECT_EQ(r.jittered(1000, 0.0), 1000);
+  EXPECT_EQ(r.jittered(0, 0.5), 0);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng root(42);
+  Rng a = root.fork(1);
+  Rng b = root.fork(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+// ---------- Stats ----------
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(Samples, PercentilesOnKnownData) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_NEAR(s.percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(s.percentile(0), 1.0, 0.01);
+  EXPECT_NEAR(s.percentile(100), 100.0, 0.01);
+  EXPECT_NEAR(s.percentile(99), 99.01, 0.01);
+}
+
+TEST(Samples, MeanStdMatchRunningStats) {
+  Rng r(3);
+  Samples s;
+  RunningStats rs;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.normal(5, 2);
+    s.add(v);
+    rs.add(v);
+  }
+  EXPECT_NEAR(s.mean(), rs.mean(), 1e-9);
+  EXPECT_NEAR(s.stddev(), rs.stddev(), 1e-9);
+}
+
+// ---------- Histogram ----------
+
+TEST(Histogram, BinsAndOverflow) {
+  Histogram h(0, 100, 10);
+  h.add(5);     // bin 0
+  h.add(95);    // bin 9
+  h.add(-1);    // underflow
+  h.add(100);   // overflow (hi is exclusive)
+  h.add(150);   // overflow
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0, 100, 10);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 30.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 40.0);
+}
+
+// ---------- ScopeAnalyzer ----------
+
+TEST(Scope, MeasuresPulsesAndDuty) {
+  ScopeAnalyzer s;
+  // A clean 50% duty, 100-unit period square wave.
+  for (Nanos t = 0; t < 1000; t += 100) {
+    s.transition(t, true);
+    s.transition(t + 50, false);
+  }
+  auto w = s.pulse_width_stats();
+  EXPECT_EQ(w.count(), 10u);  // every high interval measured
+  EXPECT_DOUBLE_EQ(w.mean(), 50.0);
+  EXPECT_DOUBLE_EQ(w.stddev(), 0.0);
+  auto p = s.period_stats();
+  EXPECT_DOUBLE_EQ(p.mean(), 100.0);
+  EXPECT_NEAR(s.duty_cycle(), 0.5, 0.07);
+}
+
+TEST(Scope, IgnoresSameLevelRepeats) {
+  ScopeAnalyzer s;
+  s.transition(0, false);
+  s.transition(10, true);
+  s.transition(12, true);  // ignored
+  s.transition(20, false);
+  EXPECT_EQ(s.pulses().size(), 1u);
+  EXPECT_EQ(s.pulses()[0].width, 10);
+}
+
+TEST(Scope, FuzzDetectedAsWidthSpread) {
+  ScopeAnalyzer sharp;
+  ScopeAnalyzer fuzzy;
+  Rng r(17);
+  for (Nanos t = 0; t < 100000; t += 100) {
+    sharp.transition(t, true);
+    sharp.transition(t + 50, false);
+    fuzzy.transition(t, true);
+    fuzzy.transition(t + 40 + r.uniform(0, 20), false);
+  }
+  EXPECT_LT(sharp.pulse_width_stats().stddev(), 0.001);
+  EXPECT_GT(fuzzy.pulse_width_stats().stddev(), 3.0);
+}
+
+}  // namespace
+}  // namespace hrt::sim

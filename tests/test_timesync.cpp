@@ -1,0 +1,71 @@
+// Boot-time TSC calibration tests (section 3.4, Figure 3).
+#include <gtest/gtest.h>
+
+#include "hw/machine.hpp"
+#include "timesync/calibration.hpp"
+
+namespace hrt::timesync {
+namespace {
+
+TEST(Calibration, ShrinksRawBootSkew) {
+  hw::Machine m(hw::MachineSpec::phi(), 42);
+  // Raw skew before: up to 200 us (hundreds of thousands of cycles).
+  sim::Nanos raw_max = 0;
+  for (std::uint32_t c = 1; c < m.num_cpus(); ++c) {
+    raw_max = std::max(raw_max, m.cpu(c).tsc().true_offset_ns());
+  }
+  EXPECT_GT(raw_max, sim::micros(50));
+
+  auto res = calibrate(m);
+  EXPECT_TRUE(res.performed);
+  // After: within the paper's ~1000 cycles.
+  EXPECT_LE(res.max_abs_residual(), 1100);
+  EXPECT_GT(res.max_abs_residual(), 0);  // but not magically perfect
+}
+
+TEST(Calibration, ResidualMatchesGroundTruth) {
+  hw::Machine m(hw::MachineSpec::phi_small(16), 7);
+  auto res = calibrate(m);
+  for (std::uint32_t c = 1; c < m.num_cpus(); ++c) {
+    const sim::Cycles truth =
+        m.spec().freq.ns_to_cycles(m.cpu(c).tsc().true_offset_ns());
+    EXPECT_NEAR(static_cast<double>(res.residual_cycles[c]),
+                static_cast<double>(truth), 2.0);
+  }
+}
+
+TEST(Calibration, Cpu0DefinesWallClock) {
+  hw::Machine m(hw::MachineSpec::phi_small(8), 3);
+  calibrate(m);
+  EXPECT_EQ(m.cpu(0).tsc().true_offset_ns(), 0);
+}
+
+TEST(Calibration, ErrorClampedToSpecMax) {
+  hw::MachineSpec spec = hw::MachineSpec::phi_small(64);
+  spec.skew.calib_error_std = 10'000;  // absurd noise
+  spec.skew.calib_error_max = 500;     // but clamped
+  hw::Machine m(spec, 11);
+  auto res = calibrate(m);
+  // Residual bounded by clamp plus a cycle of conversion rounding.
+  EXPECT_LE(res.max_abs_residual(), 502);
+}
+
+TEST(Calibration, DeterministicForSeed) {
+  hw::Machine a(hw::MachineSpec::phi_small(32), 99);
+  hw::Machine b(hw::MachineSpec::phi_small(32), 99);
+  auto ra = calibrate(a);
+  auto rb = calibrate(b);
+  EXPECT_EQ(ra.residual_cycles, rb.residual_cycles);
+}
+
+TEST(Calibration, R415TighterThanPhi) {
+  hw::Machine phi(hw::MachineSpec::phi(), 5);
+  hw::Machine r415(hw::MachineSpec::r415(), 5);
+  auto rp = calibrate(phi);
+  auto rr = calibrate(r415);
+  // Fewer CPUs and lower noise: the R415's worst-case residual is smaller.
+  EXPECT_LT(rr.max_abs_residual(), rp.max_abs_residual());
+}
+
+}  // namespace
+}  // namespace hrt::timesync
