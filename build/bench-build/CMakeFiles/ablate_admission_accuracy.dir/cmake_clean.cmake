@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_admission_accuracy"
+  "../bench/ablate_admission_accuracy.pdb"
+  "CMakeFiles/ablate_admission_accuracy.dir/ablate_admission_accuracy.cpp.o"
+  "CMakeFiles/ablate_admission_accuracy.dir/ablate_admission_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_admission_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

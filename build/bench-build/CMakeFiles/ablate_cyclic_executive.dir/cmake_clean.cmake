@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_cyclic_executive"
+  "../bench/ablate_cyclic_executive.pdb"
+  "CMakeFiles/ablate_cyclic_executive.dir/ablate_cyclic_executive.cpp.o"
+  "CMakeFiles/ablate_cyclic_executive.dir/ablate_cyclic_executive.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_cyclic_executive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_eager_vs_lazy"
+  "../bench/ablate_eager_vs_lazy.pdb"
+  "CMakeFiles/ablate_eager_vs_lazy.dir/ablate_eager_vs_lazy.cpp.o"
+  "CMakeFiles/ablate_eager_vs_lazy.dir/ablate_eager_vs_lazy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_eager_vs_lazy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

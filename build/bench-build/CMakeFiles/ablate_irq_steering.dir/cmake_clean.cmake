@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_irq_steering"
+  "../bench/ablate_irq_steering.pdb"
+  "CMakeFiles/ablate_irq_steering.dir/ablate_irq_steering.cpp.o"
+  "CMakeFiles/ablate_irq_steering.dir/ablate_irq_steering.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_irq_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

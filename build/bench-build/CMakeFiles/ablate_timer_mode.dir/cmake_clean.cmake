@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_timer_mode"
+  "../bench/ablate_timer_mode.pdb"
+  "CMakeFiles/ablate_timer_mode.dir/ablate_timer_mode.cpp.o"
+  "CMakeFiles/ablate_timer_mode.dir/ablate_timer_mode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_timer_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

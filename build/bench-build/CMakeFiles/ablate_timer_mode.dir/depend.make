@@ -1,0 +1,2 @@
+# Empty dependencies file for ablate_timer_mode.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_util_limit"
+  "../bench/ablate_util_limit.pdb"
+  "CMakeFiles/ablate_util_limit.dir/ablate_util_limit.cpp.o"
+  "CMakeFiles/ablate_util_limit.dir/ablate_util_limit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_util_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

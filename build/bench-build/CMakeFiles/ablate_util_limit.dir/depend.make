@@ -1,0 +1,2 @@
+# Empty dependencies file for ablate_util_limit.
+# This may be replaced when dependencies are built.

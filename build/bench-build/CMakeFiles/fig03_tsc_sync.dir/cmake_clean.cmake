@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_tsc_sync"
+  "../bench/fig03_tsc_sync.pdb"
+  "CMakeFiles/fig03_tsc_sync.dir/fig03_tsc_sync.cpp.o"
+  "CMakeFiles/fig03_tsc_sync.dir/fig03_tsc_sync.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_tsc_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

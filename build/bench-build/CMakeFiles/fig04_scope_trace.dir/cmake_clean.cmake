@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_scope_trace"
+  "../bench/fig04_scope_trace.pdb"
+  "CMakeFiles/fig04_scope_trace.dir/fig04_scope_trace.cpp.o"
+  "CMakeFiles/fig04_scope_trace.dir/fig04_scope_trace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_scope_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

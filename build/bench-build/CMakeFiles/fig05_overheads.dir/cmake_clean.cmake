@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_overheads"
+  "../bench/fig05_overheads.pdb"
+  "CMakeFiles/fig05_overheads.dir/fig05_overheads.cpp.o"
+  "CMakeFiles/fig05_overheads.dir/fig05_overheads.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

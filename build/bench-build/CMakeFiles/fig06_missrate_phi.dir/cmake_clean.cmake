@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_missrate_phi"
+  "../bench/fig06_missrate_phi.pdb"
+  "CMakeFiles/fig06_missrate_phi.dir/fig06_missrate_phi.cpp.o"
+  "CMakeFiles/fig06_missrate_phi.dir/fig06_missrate_phi.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_missrate_phi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_missrate_r415"
+  "../bench/fig07_missrate_r415.pdb"
+  "CMakeFiles/fig07_missrate_r415.dir/fig07_missrate_r415.cpp.o"
+  "CMakeFiles/fig07_missrate_r415.dir/fig07_missrate_r415.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_missrate_r415.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

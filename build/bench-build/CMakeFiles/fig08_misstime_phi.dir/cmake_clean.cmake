@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_misstime_phi"
+  "../bench/fig08_misstime_phi.pdb"
+  "CMakeFiles/fig08_misstime_phi.dir/fig08_misstime_phi.cpp.o"
+  "CMakeFiles/fig08_misstime_phi.dir/fig08_misstime_phi.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_misstime_phi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_misstime_r415"
+  "../bench/fig09_misstime_r415.pdb"
+  "CMakeFiles/fig09_misstime_r415.dir/fig09_misstime_r415.cpp.o"
+  "CMakeFiles/fig09_misstime_r415.dir/fig09_misstime_r415.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_misstime_r415.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_group_admission"
+  "../bench/fig10_group_admission.pdb"
+  "CMakeFiles/fig10_group_admission.dir/fig10_group_admission.cpp.o"
+  "CMakeFiles/fig10_group_admission.dir/fig10_group_admission.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_group_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_group_sync8"
+  "../bench/fig11_group_sync8.pdb"
+  "CMakeFiles/fig11_group_sync8.dir/fig11_group_sync8.cpp.o"
+  "CMakeFiles/fig11_group_sync8.dir/fig11_group_sync8.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_group_sync8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_group_sync8.
+# This may be replaced when dependencies are built.

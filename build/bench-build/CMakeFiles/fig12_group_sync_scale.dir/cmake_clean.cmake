@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_group_sync_scale"
+  "../bench/fig12_group_sync_scale.pdb"
+  "CMakeFiles/fig12_group_sync_scale.dir/fig12_group_sync_scale.cpp.o"
+  "CMakeFiles/fig12_group_sync_scale.dir/fig12_group_sync_scale.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_group_sync_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_group_sync_scale.
+# This may be replaced when dependencies are built.

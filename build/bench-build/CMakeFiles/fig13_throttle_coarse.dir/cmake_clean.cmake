@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_throttle_coarse"
+  "../bench/fig13_throttle_coarse.pdb"
+  "CMakeFiles/fig13_throttle_coarse.dir/fig13_throttle_coarse.cpp.o"
+  "CMakeFiles/fig13_throttle_coarse.dir/fig13_throttle_coarse.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_throttle_coarse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_throttle_fine"
+  "../bench/fig14_throttle_fine.pdb"
+  "CMakeFiles/fig14_throttle_fine.dir/fig14_throttle_fine.cpp.o"
+  "CMakeFiles/fig14_throttle_fine.dir/fig14_throttle_fine.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_throttle_fine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_barrier_coarse"
+  "../bench/fig15_barrier_coarse.pdb"
+  "CMakeFiles/fig15_barrier_coarse.dir/fig15_barrier_coarse.cpp.o"
+  "CMakeFiles/fig15_barrier_coarse.dir/fig15_barrier_coarse.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_barrier_coarse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_barrier_fine"
+  "../bench/fig16_barrier_fine.pdb"
+  "CMakeFiles/fig16_barrier_fine.dir/fig16_barrier_fine.cpp.o"
+  "CMakeFiles/fig16_barrier_fine.dir/fig16_barrier_fine.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_barrier_fine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsp_barrier_removal.dir/bsp_barrier_removal.cpp.o"
+  "CMakeFiles/bsp_barrier_removal.dir/bsp_barrier_removal.cpp.o.d"
+  "bsp_barrier_removal"
+  "bsp_barrier_removal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsp_barrier_removal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bsp_barrier_removal.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclic_executive_demo.dir/cyclic_executive_demo.cpp.o"
+  "CMakeFiles/cyclic_executive_demo.dir/cyclic_executive_demo.cpp.o.d"
+  "cyclic_executive_demo"
+  "cyclic_executive_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclic_executive_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

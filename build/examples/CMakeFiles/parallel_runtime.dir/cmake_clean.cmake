@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_runtime.dir/parallel_runtime.cpp.o"
+  "CMakeFiles/parallel_runtime.dir/parallel_runtime.cpp.o.d"
+  "parallel_runtime"
+  "parallel_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/throttled_group.dir/throttled_group.cpp.o"
+  "CMakeFiles/throttled_group.dir/throttled_group.cpp.o.d"
+  "throttled_group"
+  "throttled_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/throttled_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

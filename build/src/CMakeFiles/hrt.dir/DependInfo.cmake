@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/tick_scheduler.cpp" "src/CMakeFiles/hrt.dir/baseline/tick_scheduler.cpp.o" "gcc" "src/CMakeFiles/hrt.dir/baseline/tick_scheduler.cpp.o.d"
+  "/root/repo/src/bsp/bsp.cpp" "src/CMakeFiles/hrt.dir/bsp/bsp.cpp.o" "gcc" "src/CMakeFiles/hrt.dir/bsp/bsp.cpp.o.d"
+  "/root/repo/src/group/group.cpp" "src/CMakeFiles/hrt.dir/group/group.cpp.o" "gcc" "src/CMakeFiles/hrt.dir/group/group.cpp.o.d"
+  "/root/repo/src/group/group_admission.cpp" "src/CMakeFiles/hrt.dir/group/group_admission.cpp.o" "gcc" "src/CMakeFiles/hrt.dir/group/group_admission.cpp.o.d"
+  "/root/repo/src/group/reusable_barrier.cpp" "src/CMakeFiles/hrt.dir/group/reusable_barrier.cpp.o" "gcc" "src/CMakeFiles/hrt.dir/group/reusable_barrier.cpp.o.d"
+  "/root/repo/src/hw/machine.cpp" "src/CMakeFiles/hrt.dir/hw/machine.cpp.o" "gcc" "src/CMakeFiles/hrt.dir/hw/machine.cpp.o.d"
+  "/root/repo/src/hw/machine_spec.cpp" "src/CMakeFiles/hrt.dir/hw/machine_spec.cpp.o" "gcc" "src/CMakeFiles/hrt.dir/hw/machine_spec.cpp.o.d"
+  "/root/repo/src/nautilus/buddy.cpp" "src/CMakeFiles/hrt.dir/nautilus/buddy.cpp.o" "gcc" "src/CMakeFiles/hrt.dir/nautilus/buddy.cpp.o.d"
+  "/root/repo/src/nautilus/executor.cpp" "src/CMakeFiles/hrt.dir/nautilus/executor.cpp.o" "gcc" "src/CMakeFiles/hrt.dir/nautilus/executor.cpp.o.d"
+  "/root/repo/src/nautilus/interrupt_thread.cpp" "src/CMakeFiles/hrt.dir/nautilus/interrupt_thread.cpp.o" "gcc" "src/CMakeFiles/hrt.dir/nautilus/interrupt_thread.cpp.o.d"
+  "/root/repo/src/nautilus/kernel.cpp" "src/CMakeFiles/hrt.dir/nautilus/kernel.cpp.o" "gcc" "src/CMakeFiles/hrt.dir/nautilus/kernel.cpp.o.d"
+  "/root/repo/src/nautilus/spinlock.cpp" "src/CMakeFiles/hrt.dir/nautilus/spinlock.cpp.o" "gcc" "src/CMakeFiles/hrt.dir/nautilus/spinlock.cpp.o.d"
+  "/root/repo/src/rt/admission.cpp" "src/CMakeFiles/hrt.dir/rt/admission.cpp.o" "gcc" "src/CMakeFiles/hrt.dir/rt/admission.cpp.o.d"
+  "/root/repo/src/rt/ce_scheduler.cpp" "src/CMakeFiles/hrt.dir/rt/ce_scheduler.cpp.o" "gcc" "src/CMakeFiles/hrt.dir/rt/ce_scheduler.cpp.o.d"
+  "/root/repo/src/rt/cyclic_executive.cpp" "src/CMakeFiles/hrt.dir/rt/cyclic_executive.cpp.o" "gcc" "src/CMakeFiles/hrt.dir/rt/cyclic_executive.cpp.o.d"
+  "/root/repo/src/rt/local_scheduler.cpp" "src/CMakeFiles/hrt.dir/rt/local_scheduler.cpp.o" "gcc" "src/CMakeFiles/hrt.dir/rt/local_scheduler.cpp.o.d"
+  "/root/repo/src/rt/report.cpp" "src/CMakeFiles/hrt.dir/rt/report.cpp.o" "gcc" "src/CMakeFiles/hrt.dir/rt/report.cpp.o.d"
+  "/root/repo/src/rt/system.cpp" "src/CMakeFiles/hrt.dir/rt/system.cpp.o" "gcc" "src/CMakeFiles/hrt.dir/rt/system.cpp.o.d"
+  "/root/repo/src/rt/taskset_gen.cpp" "src/CMakeFiles/hrt.dir/rt/taskset_gen.cpp.o" "gcc" "src/CMakeFiles/hrt.dir/rt/taskset_gen.cpp.o.d"
+  "/root/repo/src/runtime/team.cpp" "src/CMakeFiles/hrt.dir/runtime/team.cpp.o" "gcc" "src/CMakeFiles/hrt.dir/runtime/team.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/hrt.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/hrt.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/trace_export.cpp" "src/CMakeFiles/hrt.dir/sim/trace_export.cpp.o" "gcc" "src/CMakeFiles/hrt.dir/sim/trace_export.cpp.o.d"
+  "/root/repo/src/timesync/calibration.cpp" "src/CMakeFiles/hrt.dir/timesync/calibration.cpp.o" "gcc" "src/CMakeFiles/hrt.dir/timesync/calibration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_admission.cpp" "tests/CMakeFiles/hrt_tests.dir/test_admission.cpp.o" "gcc" "tests/CMakeFiles/hrt_tests.dir/test_admission.cpp.o.d"
+  "/root/repo/tests/test_baseline.cpp" "tests/CMakeFiles/hrt_tests.dir/test_baseline.cpp.o" "gcc" "tests/CMakeFiles/hrt_tests.dir/test_baseline.cpp.o.d"
+  "/root/repo/tests/test_bsp.cpp" "tests/CMakeFiles/hrt_tests.dir/test_bsp.cpp.o" "gcc" "tests/CMakeFiles/hrt_tests.dir/test_bsp.cpp.o.d"
+  "/root/repo/tests/test_buddy.cpp" "tests/CMakeFiles/hrt_tests.dir/test_buddy.cpp.o" "gcc" "tests/CMakeFiles/hrt_tests.dir/test_buddy.cpp.o.d"
+  "/root/repo/tests/test_constraints_report.cpp" "tests/CMakeFiles/hrt_tests.dir/test_constraints_report.cpp.o" "gcc" "tests/CMakeFiles/hrt_tests.dir/test_constraints_report.cpp.o.d"
+  "/root/repo/tests/test_cyclic_executive.cpp" "tests/CMakeFiles/hrt_tests.dir/test_cyclic_executive.cpp.o" "gcc" "tests/CMakeFiles/hrt_tests.dir/test_cyclic_executive.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/hrt_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/hrt_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_executor.cpp" "tests/CMakeFiles/hrt_tests.dir/test_executor.cpp.o" "gcc" "tests/CMakeFiles/hrt_tests.dir/test_executor.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/hrt_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/hrt_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_failure_injection.cpp" "tests/CMakeFiles/hrt_tests.dir/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/hrt_tests.dir/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/test_group.cpp" "tests/CMakeFiles/hrt_tests.dir/test_group.cpp.o" "gcc" "tests/CMakeFiles/hrt_tests.dir/test_group.cpp.o.d"
+  "/root/repo/tests/test_hw.cpp" "tests/CMakeFiles/hrt_tests.dir/test_hw.cpp.o" "gcc" "tests/CMakeFiles/hrt_tests.dir/test_hw.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/hrt_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/hrt_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_main.cpp" "tests/CMakeFiles/hrt_tests.dir/test_main.cpp.o" "gcc" "tests/CMakeFiles/hrt_tests.dir/test_main.cpp.o.d"
+  "/root/repo/tests/test_queues.cpp" "tests/CMakeFiles/hrt_tests.dir/test_queues.cpp.o" "gcc" "tests/CMakeFiles/hrt_tests.dir/test_queues.cpp.o.d"
+  "/root/repo/tests/test_runtime.cpp" "tests/CMakeFiles/hrt_tests.dir/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/hrt_tests.dir/test_runtime.cpp.o.d"
+  "/root/repo/tests/test_scheduler.cpp" "tests/CMakeFiles/hrt_tests.dir/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/hrt_tests.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/hrt_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/hrt_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/hrt_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/hrt_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_taskset_spinlock.cpp" "tests/CMakeFiles/hrt_tests.dir/test_taskset_spinlock.cpp.o" "gcc" "tests/CMakeFiles/hrt_tests.dir/test_taskset_spinlock.cpp.o.d"
+  "/root/repo/tests/test_timesync.cpp" "tests/CMakeFiles/hrt_tests.dir/test_timesync.cpp.o" "gcc" "tests/CMakeFiles/hrt_tests.dir/test_timesync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hrt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

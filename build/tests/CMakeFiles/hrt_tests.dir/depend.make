@@ -1,0 +1,2 @@
+# Empty dependencies file for hrt_tests.
+# This may be replaced when dependencies are built.
