@@ -4,11 +4,28 @@
 // regenerates, the rows/series of that figure, and a short "shape check"
 // comparing the qualitative result with the paper's claim.  Pass --full for
 // paper-scale sweeps; the default is a quick mode suitable for CI.
+//
+// Parallel sweeps: parameter points in a figure sweep are independent
+// simulations, so `parallel_for_index` shards them across host cores with a
+// work-queue (atomic next-index) pool.  Each point runs with the same seed
+// it would get serially and results land in an order-preserving array, so
+// output is bit-identical to a `--threads=1` run.
+//
+// Machine-readable output: pass --json=PATH to binaries that support it to
+// get a JSON record of the run (see docs/PERFORMANCE.md for the schema and
+// bench/run_perf.sh for the single command that regenerates the committed
+// perf snapshots).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <exception>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "rt/system.hpp"
 
@@ -17,6 +34,8 @@ namespace bench {
 struct Args {
   bool full = false;
   std::uint64_t seed = 42;
+  unsigned threads = 0;     // 0 = one worker per host core
+  std::string json;         // --json=PATH: machine-readable results
 };
 
 inline Args parse_args(int argc, char** argv) {
@@ -26,6 +45,14 @@ inline Args parse_args(int argc, char** argv) {
     if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       a.seed = std::strtoull(argv[i] + 7, nullptr, 10);
     }
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      a.threads = static_cast<unsigned>(
+          std::strtoul(argv[i] + 10, nullptr, 10));
+    }
+    if (std::strncmp(argv[i], "--json=", 7) == 0) a.json = argv[i] + 7;
+  }
+  if (a.threads == 0) {
+    a.threads = std::max(1u, std::thread::hardware_concurrency());
   }
   return a;
 }
@@ -45,5 +72,96 @@ inline double to_cycles(const hrt::hw::MachineSpec& spec, hrt::sim::Nanos ns) {
 inline void shape_check(const char* what, bool ok) {
   std::printf("[shape %s] %s\n", ok ? "PASS" : "FAIL", what);
 }
+
+/// Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Run fn(0) .. fn(n-1) across `threads` workers pulling indices from a
+/// shared work queue.  Blocks until every index completed.  The first
+/// exception thrown by any worker is rethrown on the caller's thread.
+template <typename Fn>
+void parallel_for_index(std::size_t n, unsigned threads, Fn&& fn) {
+  if (n == 0) return;
+  if (threads <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr error;
+  std::mutex error_mu;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  const unsigned count = static_cast<unsigned>(
+      std::min<std::size_t>(threads, n));
+  pool.reserve(count);
+  for (unsigned t = 0; t < count; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+/// Minimal JSON object writer: flat string/number fields plus raw nested
+/// values.  Enough for the bench snapshot schema; not a general serializer.
+class JsonObject {
+ public:
+  void field(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    raw(key, buf);
+  }
+  void field(const std::string& key, std::uint64_t value) {
+    raw(key, std::to_string(value));
+  }
+  void field(const std::string& key, const std::string& value) {
+    raw(key, "\"" + value + "\"");
+  }
+  /// `value` must already be valid JSON (e.g. a nested object).
+  void raw(const std::string& key, const std::string& value) {
+    parts_.push_back("\"" + key + "\": " + value);
+  }
+
+  [[nodiscard]] std::string str() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < parts_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += parts_[i];
+    }
+    out += "}";
+    return out;
+  }
+
+  bool write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::string s = str() + "\n";
+    std::fwrite(s.data(), 1, s.size(), f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::vector<std::string> parts_;
+};
 
 }  // namespace bench

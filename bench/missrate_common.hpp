@@ -1,6 +1,12 @@
 // Shared sweep for Figures 6-9: deadline miss rate and miss time as a
 // function of period (tau) and slice (% of period), with admission control
 // disabled so infeasible constraints can be observed.
+//
+// Every (tau, sigma) cell is an independent simulation with its own System
+// and a seed that depends only on --seed, so the sweep shards across host
+// cores via bench::parallel_for_index.  Results are gathered into an
+// order-preserving array and printed after the sweep: a --threads=N run is
+// bit-identical to --threads=1.
 #pragma once
 
 #include <vector>
@@ -66,34 +72,86 @@ inline std::vector<hrt::sim::Nanos> sweep_periods(
   return ps;
 }
 
-/// Run the full sweep and print the figure's series (one row per period,
-/// columns = slice %).
+/// Run the full sweep (sharded across args.threads workers) and print the
+/// figure's series (one row per period, columns = slice %).  With
+/// args.json set, also write the per-point results as a JSON record.
 inline std::vector<MissPoint> run_sweep(const hrt::hw::MachineSpec& spec,
                                         const Args& args, bool print_rate) {
   using namespace hrt;
-  std::vector<MissPoint> points;
   const auto periods = sweep_periods(spec);
-  std::printf("\n%-9s", "period");
-  for (int pct = 10; pct <= 90; pct += 10) std::printf(" %8d%%", pct);
-  std::printf("\n");
+  constexpr int kPctLo = 10;
+  constexpr int kPctHi = 90;
+  constexpr int kPctStep = 10;
+  constexpr int kPctCount = (kPctHi - kPctLo) / kPctStep + 1;
+
+  struct Job {
+    sim::Nanos period;
+    int pct;
+    sim::Nanos horizon;
+  };
+  std::vector<Job> jobs;
   for (sim::Nanos period : periods) {
     // Horizon: enough arrivals for a stable rate.
     const std::uint64_t want_arrivals = args.full ? 20000 : 3000;
     sim::Nanos horizon = static_cast<sim::Nanos>(want_arrivals) * period;
     if (horizon > sim::seconds(4)) horizon = sim::seconds(4);
     if (horizon < sim::millis(30)) horizon = sim::millis(30);
-    std::printf("%6lld us", (long long)(period / 1000));
-    for (int pct = 10; pct <= 90; pct += 10) {
-      MissPoint p = measure_miss(spec, args.seed, period, pct, horizon);
-      points.push_back(p);
+    for (int pct = kPctLo; pct <= kPctHi; pct += kPctStep) {
+      jobs.push_back(Job{period, pct, horizon});
+    }
+  }
+
+  Stopwatch wall;
+  std::vector<MissPoint> points(jobs.size());
+  parallel_for_index(jobs.size(), args.threads, [&](std::size_t i) {
+    const Job& j = jobs[i];
+    points[i] = measure_miss(spec, args.seed, j.period, j.pct, j.horizon);
+  });
+  const double wall_s = wall.seconds();
+
+  std::printf("\n%-9s", "period");
+  for (int pct = kPctLo; pct <= kPctHi; pct += kPctStep) {
+    std::printf(" %8d%%", pct);
+  }
+  std::printf("\n");
+  for (std::size_t row = 0; row < periods.size(); ++row) {
+    std::printf("%6lld us", (long long)(periods[row] / 1000));
+    for (int col = 0; col < kPctCount; ++col) {
+      const MissPoint& p = points[row * kPctCount + col];
       if (print_rate) {
         std::printf(" %8.1f", p.miss_rate * 100.0);
       } else {
         std::printf(" %8.2f", p.miss_time_us);
       }
-      std::fflush(stdout);
     }
     std::printf("\n");
+  }
+  std::printf("[sweep] %zu points, %u threads, %.2f s wall\n", points.size(),
+              args.threads, wall_s);
+
+  if (!args.json.empty()) {
+    std::string cells = "[";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const MissPoint& p = points[i];
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"period_ns\": %lld, \"slice_pct\": %d, "
+                    "\"miss_rate\": %.17g, \"arrivals\": %llu}",
+                    i > 0 ? ", " : "", (long long)p.period, p.slice_pct,
+                    p.miss_rate, (unsigned long long)p.arrivals);
+      cells += buf;
+    }
+    cells += "]";
+    JsonObject j;
+    j.field("machine", std::string(spec.name));
+    j.field("mode", std::string(args.full ? "full" : "quick"));
+    j.field("seed", static_cast<std::uint64_t>(args.seed));
+    j.field("threads", static_cast<std::uint64_t>(args.threads));
+    j.field("wall_s", wall_s);
+    j.raw("points", cells);
+    if (!j.write_file(args.json)) {
+      std::fprintf(stderr, "warning: cannot write %s\n", args.json.c_str());
+    }
   }
   return points;
 }

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Regenerate the performance snapshots:
+#
+#   bench/run_perf.sh [--full] [build-dir]
+#
+# Produces in the current directory:
+#   BENCH_engine.json   — micro_engine: timer-wheel vs legacy engine
+#                         (events/sec, p50/p99 schedule/cancel latency)
+#   BENCH_figures.json  — wall time + shape-check results per figure binary
+#
+# The committed PR-over-PR snapshots live in bench/snapshots/; refresh them
+# with:  bench/run_perf.sh && cp BENCH_*.json bench/snapshots/
+#
+# Schema: docs/PERFORMANCE.md.
+set -euo pipefail
+
+MODE="quick"
+MODE_FLAG=""
+if [ "${1:-}" = "--full" ]; then
+  MODE="full"
+  MODE_FLAG="--full"
+  shift
+fi
+BUILD="${1:-build}"
+BIN="$BUILD/bench"
+
+if [ ! -d "$BIN" ]; then
+  echo "error: $BIN not found; build first: cmake -B $BUILD -S . && cmake --build $BUILD -j" >&2
+  exit 1
+fi
+
+now_ns() { date +%s%N; }
+
+echo "== micro_engine -> BENCH_engine.json"
+"$BIN/micro_engine" $MODE_FLAG --json=BENCH_engine.json
+
+FIGURES="fig03_tsc_sync fig04_scope_trace fig05_overheads fig06_missrate_phi \
+fig07_missrate_r415 fig08_misstime_phi fig09_misstime_r415 \
+fig10_group_admission fig11_group_sync8 fig12_group_sync_scale \
+fig13_throttle_coarse fig14_throttle_fine fig15_barrier_coarse \
+fig16_barrier_fine ablate_eager_vs_lazy ablate_util_limit ablate_timer_mode \
+ablate_irq_steering ablate_cyclic_executive ablate_admission_accuracy"
+
+echo "== figure sweep -> BENCH_figures.json ($MODE mode)"
+{
+  printf '{"mode": "%s", "figures": [' "$MODE"
+  first=1
+  for fig in $FIGURES; do
+    out=$(mktemp)
+    t0=$(now_ns)
+    if "$BIN/$fig" $MODE_FLAG >"$out" 2>&1; then exit_code=0; else exit_code=$?; fi
+    t1=$(now_ns)
+    wall_s=$(awk "BEGIN {printf \"%.3f\", ($t1 - $t0) / 1e9}")
+    pass=$(grep -c '^\[shape PASS\]' "$out" || true)
+    fail=$(grep -c '^\[shape FAIL\]' "$out" || true)
+    rm -f "$out"
+    [ $first -eq 1 ] || printf ', '
+    first=0
+    printf '{"figure": "%s", "wall_s": %s, "exit": %d, "shape_pass": %d, "shape_fail": %d}' \
+      "$fig" "$wall_s" "$exit_code" "$pass" "$fail"
+    echo "   $fig: ${wall_s}s (exit $exit_code, shapes $pass pass / $fail fail)" >&2
+  done
+  printf ']}\n'
+} > BENCH_figures.json
+
+echo "wrote BENCH_engine.json BENCH_figures.json"

@@ -1,6 +1,7 @@
 #include "baseline/tick_scheduler.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "nautilus/executor.hpp"
 
@@ -10,14 +11,10 @@ nk::PassResult TickScheduler::pass(nk::PassReason reason, sim::Nanos now) {
   if (reason == nk::PassReason::kTimer) ++ticks_;
 
   // Wake sleepers whose time has come.
-  for (auto it = sleepers_.begin(); it != sleepers_.end();) {
-    if ((*it)->wake_time <= now) {
-      (*it)->state = nk::Thread::State::kReady;
-      ready_.push_back(*it);
-      it = sleepers_.erase(it);
-    } else {
-      ++it;
-    }
+  while (!sleepers_.empty() && sleepers_.top()->wake_time <= now) {
+    nk::Thread* t = sleepers_.pop();
+    t->state = nk::Thread::State::kReady;
+    ready_.push_back(t);
   }
 
   nk::Thread* cur = exec_->current();
@@ -82,19 +79,16 @@ void TickScheduler::enqueue(nk::Thread* t) {
 
 void TickScheduler::on_sleep(nk::Thread& t, sim::Nanos wake_local) {
   t.wake_time = wake_local;
-  sleepers_.push_back(&t);
+  if (!sleepers_.push(&t)) {
+    throw std::runtime_error("TickScheduler: sleep queue full");
+  }
 }
 
 bool TickScheduler::try_wake(nk::Thread& t) {
-  for (auto it = sleepers_.begin(); it != sleepers_.end(); ++it) {
-    if (*it == &t) {
-      sleepers_.erase(it);
-      t.state = nk::Thread::State::kReady;
-      ready_.push_back(&t);
-      return true;
-    }
-  }
-  return false;
+  if (!sleepers_.remove(&t)) return false;
+  t.state = nk::Thread::State::kReady;
+  ready_.push_back(&t);
+  return true;
 }
 
 void TickScheduler::submit_task(nk::Task task) {

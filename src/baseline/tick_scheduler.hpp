@@ -15,6 +15,7 @@
 #include "nautilus/kernel.hpp"
 #include "nautilus/scheduler.hpp"
 #include "nautilus/thread.hpp"
+#include "rt/queues.hpp"
 
 namespace hrt::baseline {
 
@@ -23,10 +24,14 @@ class TickScheduler final : public nk::SchedulerBase {
   struct Config {
     sim::Nanos tick = sim::millis(1);  // 1 kHz periodic tick
     std::uint32_t quantum_ticks = 10;  // RR quantum in ticks
+    std::size_t max_threads = 1024;    // sleep-queue capacity
   };
 
   TickScheduler(nk::Kernel& kernel, std::uint32_t cpu, Config cfg)
-      : kernel_(kernel), cpu_(cpu), cfg_(cfg) {}
+      : kernel_(kernel),
+        cpu_(cpu),
+        cfg_(cfg),
+        sleepers_(cfg.max_threads) {}
 
   void attach(nk::CpuExecutor* exec) override { exec_ = exec; }
   nk::PassResult pass(nk::PassReason reason, sim::Nanos now) override;
@@ -56,12 +61,21 @@ class TickScheduler final : public nk::SchedulerBase {
   }
 
  private:
+  struct WakeBefore {
+    bool operator()(const nk::Thread* a, const nk::Thread* b) const {
+      return a->wake_time < b->wake_time;
+    }
+  };
+
   nk::Kernel& kernel_;
   std::uint32_t cpu_;
   Config cfg_;
   nk::CpuExecutor* exec_ = nullptr;
   std::deque<nk::Thread*> ready_;
-  std::deque<nk::Thread*> sleepers_;
+  // Earliest-wake heap: the per-tick sleeper sweep peeks top() instead of
+  // scanning, and try_wake removes in O(log n) via the intrusive index.
+  rt::BoundedHeap<nk::Thread*, WakeBefore, rt::MemberIndex<nk::Thread*>>
+      sleepers_;
   std::deque<nk::Task> tasks_;
   std::uint64_t ticks_ = 0;
   std::uint32_t quantum_used_ = 0;

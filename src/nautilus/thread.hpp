@@ -13,6 +13,7 @@
 
 #include "nautilus/action.hpp"
 #include "rt/constraints.hpp"
+#include "rt/queues.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
 
@@ -70,6 +71,7 @@ class Thread {
   // Scheduler linkage.
   std::uint64_t rr_seq = 0;      // round-robin ordering within a priority
   sim::Nanos wake_time = 0;      // for sleepers
+  rt::HeapIndex heap_index;      // which scheduler heap holds us, and where
   RtState rt;
 
   // NUMA placement of the thread's essential state (stack, TCB): allocated
@@ -98,6 +100,7 @@ class Thread {
     last_admit_ok = true;
     rr_seq = 0;
     wake_time = 0;
+    heap_index = rt::HeapIndex{};
     rt = RtState{};
     total_cpu_ns = 0;
     dispatches = 0;

@@ -497,8 +497,9 @@ std::size_t LocalScheduler::stealable_count() const {
 }
 
 nk::Thread* LocalScheduler::try_steal() {
-  return nonrt_.extract_if(
-      [](const nk::Thread* t) { return !t->bound && !t->is_idle; });
+  return nonrt_
+      .extract_if([](const nk::Thread* t) { return !t->bound && !t->is_idle; })
+      .value_or(nullptr);
 }
 
 std::size_t LocalScheduler::thread_count() const {

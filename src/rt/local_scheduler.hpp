@@ -160,10 +160,12 @@ class LocalScheduler final : public nk::SchedulerBase {
   nk::CpuExecutor* exec_ = nullptr;
   sim::Nanos slop_;  // timer earliness tolerance (one APIC tick)
 
-  BoundedHeap<nk::Thread*, ArrivalBefore> pending_;
-  BoundedHeap<nk::Thread*, DeadlineBefore> rt_run_;
-  BoundedHeap<nk::Thread*, AperBefore> nonrt_;
-  BoundedHeap<nk::Thread*, WakeBefore> sleepers_;
+  // Intrusively indexed: a thread knows which of these heaps holds it, so
+  // remove()/detach are O(log n) and cross-queue probes are O(1) misses.
+  BoundedHeap<nk::Thread*, ArrivalBefore, MemberIndex<nk::Thread*>> pending_;
+  BoundedHeap<nk::Thread*, DeadlineBefore, MemberIndex<nk::Thread*>> rt_run_;
+  BoundedHeap<nk::Thread*, AperBefore, MemberIndex<nk::Thread*>> nonrt_;
+  BoundedHeap<nk::Thread*, WakeBefore, MemberIndex<nk::Thread*>> sleepers_;
   std::vector<nk::Thread*> periodic_set_;  // admitted periodic threads
 
   std::deque<nk::Task> sized_tasks_;

@@ -1,22 +1,52 @@
-// Fixed-capacity binary heap.
+// Fixed-capacity binary heap, optionally with intrusive index tracking.
 //
 // "The maximum number of threads in the whole system is determined at
 // compile time, each local scheduler uses fixed size priority queues ...
 // As a result, the time spent in a local scheduler invocation is bounded"
 // (section 3.3).  The heap never allocates after construction; push beyond
 // capacity fails explicitly.
+//
+// Index tracking: scheduler elements (threads) record which heap they sit in
+// and at what position, via a HeapIndex field updated on every sift.  That
+// turns remove() from an O(n) scan + re-sift into an O(log n) locate +
+// re-sift — and, just as important on the hot path, into an O(1) *miss* when
+// the element is in some other queue (detach_bookkeeping probes all four
+// scheduler queues on every thread teardown).  An element can be tracked by
+// at most one indexed heap at a time; the scheduler's queues are mutually
+// exclusive states, so this invariant holds by construction.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
+#include <cstdint>
+#include <optional>
 #include <stdexcept>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 namespace hrt::rt {
 
+/// Embedded bookkeeping for elements tracked by an indexed BoundedHeap.
+struct HeapIndex {
+  void* owner = nullptr;  // the heap currently holding the element
+  std::uint32_t pos = 0;  // position within that heap
+};
+
+/// Index policy for pointer-like elements exposing a `heap_index` member.
+template <typename P>
+struct MemberIndex {
+  static HeapIndex& of(const P& p) { return p->heap_index; }
+};
+
+/// Index policy disabling tracking (remove() falls back to a linear scan).
+struct NoIndex {};
+
 /// Before(a, b) == true means a is dequeued before b.
-template <typename T, typename Before>
+template <typename T, typename Before, typename Index = NoIndex>
 class BoundedHeap {
+  static constexpr bool kIndexed = !std::is_same_v<Index, NoIndex>;
+
  public:
   explicit BoundedHeap(std::size_t capacity, Before before = Before())
       : capacity_(capacity), before_(std::move(before)) {
@@ -31,6 +61,7 @@ class BoundedHeap {
   [[nodiscard]] bool push(T v) {
     if (heap_.size() >= capacity_) return false;
     heap_.push_back(std::move(v));
+    reindex(heap_.size() - 1);
     sift_up(heap_.size() - 1);
     return true;
   }
@@ -43,35 +74,57 @@ class BoundedHeap {
   T pop() {
     if (heap_.empty()) throw std::logic_error("BoundedHeap: pop of empty");
     T out = std::move(heap_.front());
-    heap_.front() = std::move(heap_.back());
-    heap_.pop_back();
-    if (!heap_.empty()) sift_down(0);
+    unindex(out);
+    fill_hole(0);
     return out;
   }
 
-  /// Remove a specific element (linear scan).  Returns false if absent.
-  bool remove(const T& v) {
-    for (std::size_t i = 0; i < heap_.size(); ++i) {
-      if (heap_[i] == v) {
-        remove_at(i);
-        return true;
+  /// True if this heap currently holds `v`.  O(1) when indexed.
+  [[nodiscard]] bool contains(const T& v) const {
+    if constexpr (kIndexed) {
+      return Index::of(v).owner == this;
+    } else {
+      for (const T& e : heap_) {
+        if (e == v) return true;
       }
+      return false;
     }
-    return false;
+  }
+
+  /// Remove a specific element.  Returns false if absent.  O(log n) when
+  /// indexed (O(1) when `v` is tracked by another heap or none); O(n) scan
+  /// otherwise.
+  bool remove(const T& v) {
+    if constexpr (kIndexed) {
+      const HeapIndex& hi = Index::of(v);
+      if (hi.owner != this) return false;
+      assert(hi.pos < heap_.size() && heap_[hi.pos] == v);
+      remove_at(hi.pos);
+      return true;
+    } else {
+      for (std::size_t i = 0; i < heap_.size(); ++i) {
+        if (heap_[i] == v) {
+          remove_at(i);
+          return true;
+        }
+      }
+      return false;
+    }
   }
 
   /// Remove and return the first element satisfying pred (heap order scan),
-  /// or a default-constructed T if none matches.
+  /// or std::nullopt if none matches.
   template <typename Pred>
-  T extract_if(Pred pred) {
+  std::optional<T> extract_if(Pred pred) {
     for (std::size_t i = 0; i < heap_.size(); ++i) {
       if (pred(heap_[i])) {
         T out = std::move(heap_[i]);
-        remove_at(i);
+        unindex(out);
+        fill_hole(i);
         return out;
       }
     }
-    return T{};
+    return std::nullopt;
   }
 
   template <typename Fn>
@@ -79,23 +132,59 @@ class BoundedHeap {
     for (const T& v : heap_) fn(v);
   }
 
-  void clear() { heap_.clear(); }
+  void clear() {
+    if constexpr (kIndexed) {
+      for (T& v : heap_) unindex(v);
+    }
+    heap_.clear();
+  }
 
  private:
+  void reindex(std::size_t i) {
+    if constexpr (kIndexed) {
+      HeapIndex& hi = Index::of(heap_[i]);
+      hi.owner = this;
+      hi.pos = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  void unindex(const T& v) {
+    if constexpr (kIndexed) {
+      Index::of(v).owner = nullptr;
+    }
+  }
+
   void remove_at(std::size_t i) {
-    heap_[i] = std::move(heap_.back());
-    heap_.pop_back();
-    if (i < heap_.size()) {
+    unindex(heap_[i]);
+    fill_hole(i);
+  }
+
+  /// Move the last element into hole `i` and restore heap order.
+  void fill_hole(std::size_t i) {
+    const std::size_t last = heap_.size() - 1;
+    if (i != last) {
+      heap_[i] = std::move(heap_[last]);
+      heap_.pop_back();
+      reindex(i);
       sift_down(i);
       sift_up(i);
+    } else {
+      heap_.pop_back();
     }
+  }
+
+  void swap_at(std::size_t i, std::size_t j) {
+    using std::swap;
+    swap(heap_[i], heap_[j]);
+    reindex(i);
+    reindex(j);
   }
 
   void sift_up(std::size_t i) {
     while (i > 0) {
       const std::size_t parent = (i - 1) / 2;
       if (!before_(heap_[i], heap_[parent])) break;
-      std::swap(heap_[i], heap_[parent]);
+      swap_at(i, parent);
       i = parent;
     }
   }
@@ -108,7 +197,7 @@ class BoundedHeap {
       if (l < heap_.size() && before_(heap_[l], heap_[best])) best = l;
       if (r < heap_.size() && before_(heap_[r], heap_[best])) best = r;
       if (best == i) break;
-      std::swap(heap_[i], heap_[best]);
+      swap_at(i, best);
       i = best;
     }
   }

@@ -1,6 +1,7 @@
 #include "runtime/team.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
 
 namespace hrt::nrt {
@@ -138,8 +139,11 @@ TeamRuntime::TeamRuntime(System& sys, Options options)
     : sys_(sys),
       options_(options),
       state_(std::make_shared<TeamState>(sys.kernel())) {
-  static std::uint64_t team_counter = 0;
-  const std::uint64_t team_seq = team_counter++;
+  // Atomic: bench harnesses construct independent Systems (and teams) from
+  // worker threads in parallel.
+  static std::atomic<std::uint64_t> team_counter{0};
+  const std::uint64_t team_seq =
+      team_counter.fetch_add(1, std::memory_order_relaxed);
   state_->workers = options_.workers;
   if (options_.first_cpu + options_.workers > sys_.machine().num_cpus()) {
     throw std::invalid_argument("TeamRuntime: not enough CPUs");

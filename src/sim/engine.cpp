@@ -1,55 +1,265 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 #include <stdexcept>
 #include <utility>
 
 namespace hrt::sim {
 
+Engine::Engine() {
+  slot_head_.fill(kNil);
+  occupied_.fill(0);
+  pool_.reserve(64);
+  ready_.reserve(64);
+  far_.reserve(64);
+}
+
+bool Engine::ready_after(std::uint32_t a, std::uint32_t b) const {
+  const Node& na = pool_[a];
+  const Node& nb = pool_[b];
+  if (na.when != nb.when) return na.when > nb.when;
+  if (na.band != nb.band) return na.band > nb.band;
+  return na.seq > nb.seq;
+}
+
+bool Engine::far_after(std::uint32_t a, std::uint32_t b) const {
+  // Ties need no band/seq resolution here: far events are migrated into the
+  // wheel and finally ordered in the ready heap.
+  return pool_[a].when > pool_[b].when;
+}
+
+void Engine::ready_push(std::uint32_t idx) {
+  ready_.push_back(idx);
+  std::push_heap(ready_.begin(), ready_.end(),
+                 [this](std::uint32_t a, std::uint32_t b) {
+                   return ready_after(a, b);
+                 });
+}
+
+std::uint32_t Engine::ready_pop() {
+  std::pop_heap(ready_.begin(), ready_.end(),
+                [this](std::uint32_t a, std::uint32_t b) {
+                  return ready_after(a, b);
+                });
+  const std::uint32_t idx = ready_.back();
+  ready_.pop_back();
+  return idx;
+}
+
+void Engine::far_push(std::uint32_t idx) {
+  far_.push_back(idx);
+  std::push_heap(far_.begin(), far_.end(),
+                 [this](std::uint32_t a, std::uint32_t b) {
+                   return far_after(a, b);
+                 });
+}
+
+std::uint32_t Engine::far_pop() {
+  std::pop_heap(far_.begin(), far_.end(),
+                [this](std::uint32_t a, std::uint32_t b) {
+                  return far_after(a, b);
+                });
+  const std::uint32_t idx = far_.back();
+  far_.pop_back();
+  return idx;
+}
+
+std::uint32_t Engine::alloc_node() {
+  if (free_head_ != kNil) {
+    const std::uint32_t idx = free_head_;
+    free_head_ = pool_[idx].next;
+    return idx;
+  }
+  if (pool_.size() >= static_cast<std::size_t>(kNil)) {
+    throw std::length_error("Engine: event pool exhausted");
+  }
+  pool_.emplace_back();
+  return static_cast<std::uint32_t>(pool_.size() - 1);
+}
+
+void Engine::free_node(std::uint32_t idx) {
+  Node& n = pool_[idx];
+  n.cb.reset();
+  n.loc = Loc::kFree;
+  n.cancelled = false;
+  ++n.gen;  // invalidate outstanding EventIds for this slot
+  n.prev = kNil;
+  n.next = free_head_;
+  free_head_ = idx;
+}
+
+void Engine::link_wheel(std::uint32_t idx) {
+  Node& n = pool_[idx];
+  const auto s =
+      static_cast<std::uint32_t>((n.when >> kSlotShift) & kSlotMask);
+  n.prev = kNil;
+  n.next = slot_head_[s];
+  if (n.next != kNil) pool_[n.next].prev = idx;
+  slot_head_[s] = idx;
+  occupied_[s >> 6] |= std::uint64_t{1} << (s & 63);
+  n.loc = Loc::kWheel;
+  ++wheel_count_;
+}
+
+void Engine::unlink_wheel(std::uint32_t idx) {
+  Node& n = pool_[idx];
+  const auto s =
+      static_cast<std::uint32_t>((n.when >> kSlotShift) & kSlotMask);
+  if (n.prev != kNil) {
+    pool_[n.prev].next = n.next;
+  } else {
+    slot_head_[s] = n.next;
+  }
+  if (n.next != kNil) pool_[n.next].prev = n.prev;
+  if (slot_head_[s] == kNil) {
+    occupied_[s >> 6] &= ~(std::uint64_t{1} << (s & 63));
+  }
+  --wheel_count_;
+}
+
+void Engine::drain_slot(std::uint32_t slot, Nanos /*slot_start*/) {
+  std::uint32_t idx = slot_head_[slot];
+  slot_head_[slot] = kNil;
+  occupied_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+  while (idx != kNil) {
+    const std::uint32_t next = pool_[idx].next;
+    pool_[idx].loc = Loc::kReady;
+    ready_push(idx);
+    --wheel_count_;
+    idx = next;
+  }
+}
+
+std::uint32_t Engine::find_occupied_from(std::uint32_t slot) const {
+  constexpr std::uint32_t kWords = kNumSlots / 64;
+  std::uint32_t w = slot >> 6;
+  std::uint64_t word = occupied_[w] & (~std::uint64_t{0} << (slot & 63));
+  // One extra iteration so the starting word is re-checked in full: bits
+  // below `slot` are circularly the furthest slots in the window.
+  for (std::uint32_t i = 0; i <= kWords; ++i) {
+    if (word != 0) {
+      return (w << 6) + static_cast<std::uint32_t>(std::countr_zero(word));
+    }
+    w = (w + 1) & (kWords - 1);
+    word = occupied_[w];
+  }
+  return kNil;
+}
+
 EventId Engine::schedule_at(Nanos when, Callback cb, EventBand band) {
   if (when < now_) {
     throw std::logic_error("Engine::schedule_at: time in the past");
   }
-  const std::uint64_t id = next_seq_++;
-  queue_.push(Event{when, static_cast<std::uint8_t>(band), id, id,
-                    std::move(cb)});
-  return EventId{id};
+  const std::uint32_t idx = alloc_node();
+  Node& n = pool_[idx];
+  n.when = when;
+  n.seq = next_seq_++;
+  n.band = static_cast<std::uint8_t>(band);
+  n.cancelled = false;
+  n.cb = std::move(cb);
+  ++live_count_;
+  if (when < wheel_base_) {
+    // Inside the already-drained region (e.g. scheduled from a callback for
+    // "now"); goes straight to the ready heap.
+    n.loc = Loc::kReady;
+    ready_push(idx);
+  } else if (when < wheel_base_ + kSpanNs) {
+    link_wheel(idx);
+  } else {
+    n.loc = Loc::kFar;
+    far_push(idx);
+  }
+  return EventId{encode(idx, n.gen)};
 }
 
 void Engine::cancel(EventId id) {
-  if (id.valid()) {
-    cancelled_.insert(id.value);
+  if (!id.valid()) return;
+  const auto idx = static_cast<std::uint32_t>((id.value & 0xFFFFFFFFu) - 1);
+  const auto gen = static_cast<std::uint32_t>(id.value >> 32);
+  if (idx >= pool_.size()) return;
+  Node& n = pool_[idx];
+  if (n.gen != gen || n.loc == Loc::kFree || n.cancelled) return;
+  --live_count_;
+  if (n.loc == Loc::kWheel) {
+    // O(1): unlink from the slot list and reclaim immediately.
+    unlink_wheel(idx);
+    free_node(idx);
+  } else {
+    // Heap-resident (far or ready): tombstone, reclaimed lazily at pop.
+    n.cancelled = true;
+    n.cb.reset();  // release captured resources eagerly
+  }
+}
+
+bool Engine::refill_ready() {
+  if (live_count_ == 0) return false;
+  for (;;) {
+    if (wheel_count_ == 0) {
+      // Every live event is in the far heap (the caller drained ready).
+      // Purge tombstones and jump the window to the earliest far event.
+      while (!far_.empty() && pool_[far_.front()].cancelled) {
+        free_node(far_pop());
+      }
+      if (far_.empty()) return false;  // unreachable while live_count_ > 0
+      wheel_base_ = pool_[far_.front()].when & ~(kSlotNs - 1);
+    }
+    // Migrate far events that fall inside the (possibly advanced) window.
+    while (!far_.empty()) {
+      const std::uint32_t top = far_.front();
+      if (pool_[top].cancelled) {
+        free_node(far_pop());
+        continue;
+      }
+      if (pool_[top].when >= wheel_base_ + kSpanNs) break;
+      far_pop();
+      link_wheel(top);
+    }
+    if (wheel_count_ == 0) continue;
+    const auto base_slot =
+        static_cast<std::uint32_t>((wheel_base_ >> kSlotShift) & kSlotMask);
+    const std::uint32_t s = find_occupied_from(base_slot);
+    assert(s != kNil);
+    const Nanos slot_start =
+        wheel_base_ +
+        static_cast<Nanos>((s - base_slot) & kSlotMask) * kSlotNs;
+    drain_slot(s, slot_start);
+    wheel_base_ = slot_start + kSlotNs;
+    // Wheel nodes are never tombstoned, so ready now holds a live event.
+    return true;
+  }
+}
+
+void Engine::purge_cancelled_ready_top() {
+  while (!ready_.empty() && pool_[ready_.front()].cancelled) {
+    free_node(ready_pop());
   }
 }
 
 bool Engine::step() {
-  while (!queue_.empty()) {
-    // priority_queue::top is const; we must copy the callback out before pop.
-    Event ev = queue_.top();
-    queue_.pop();
-    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    assert(ev.when >= now_);
-    now_ = ev.when;
-    ++executed_;
-    ev.cb();
-    return true;
-  }
-  return false;
+  purge_cancelled_ready_top();
+  if (ready_.empty() && !refill_ready()) return false;
+  purge_cancelled_ready_top();
+  const std::uint32_t idx = ready_pop();
+  Node& n = pool_[idx];
+  assert(n.when >= now_);
+  now_ = n.when;
+  Callback cb = std::move(n.cb);
+  --live_count_;
+  free_node(idx);
+  ++executed_;
+  cb();
+  return true;
 }
 
 std::uint64_t Engine::run_until(Nanos t_end) {
   std::uint64_t n = 0;
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (cancelled_.count(top.id) != 0) {
-      cancelled_.erase(top.id);
-      queue_.pop();
-      continue;
-    }
-    if (top.when > t_end) break;
+  for (;;) {
+    purge_cancelled_ready_top();
+    if (ready_.empty() && !refill_ready()) break;
+    purge_cancelled_ready_top();
+    if (pool_[ready_.front()].when > t_end) break;
     if (step()) ++n;
   }
   // Advance the clock to the horizon even if the queue ran dry earlier.

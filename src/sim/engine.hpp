@@ -6,16 +6,34 @@
 // are ordered by an explicit priority band first (so that, e.g., an SMI
 // freeze at time T is applied before a work completion at T), then FIFO.
 //
-// Event cancellation is supported because preemption constantly invalidates
-// in-flight completion events; cancelled events are skipped lazily at pop.
+// Implementation: a hierarchical timer wheel.  Events land in one of three
+// places:
+//
+//   * ready heap — events earlier than the wheel window (already-drained
+//     slots); a small binary heap ordered by (when, band, seq).
+//   * wheel      — kNumSlots circular buckets of kSlotNs each (~4 ms span);
+//     each bucket is an intrusive doubly-linked list, with an occupancy
+//     bitmap for O(1) find-next-bucket.
+//   * far heap   — events beyond the wheel horizon; migrated into the wheel
+//     in amortized O(log n) as the window advances.
+//
+// Events live in a pooled free-list arena with generation-tagged slots, so
+// EventId validation needs no hash lookup: schedule_at and cancel are O(1)
+// amortized.  Cancellation matters — preemption constantly invalidates
+// in-flight completion events — so a wheel-resident event is unlinked and
+// reclaimed immediately, while heap-resident events are tombstoned and
+// reclaimed lazily at pop.  Callbacks use a small-buffer-optimized Callback
+// (sim/callback.hpp): no per-event heap allocation on the common path.
+//
+// The seed `std::priority_queue` implementation is preserved as
+// sim/legacy_engine.hpp for benchmarking and cross-checking.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/time.hpp"
 
 namespace hrt::sim {
@@ -29,6 +47,8 @@ enum class EventBand : std::uint8_t {
 };
 
 /// Opaque handle for cancelling a scheduled event.  Value 0 is "none".
+/// Encodes (generation << 32 | pool slot + 1); a stale handle — the event
+/// already ran, was cancelled, or the slot was reused — never matches.
 struct EventId {
   std::uint64_t value = 0;
   [[nodiscard]] bool valid() const { return value != 0; }
@@ -37,9 +57,9 @@ struct EventId {
 
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::Callback;
 
-  Engine() = default;
+  Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -56,8 +76,8 @@ class Engine {
     return schedule_at(now_ + delay, std::move(cb), band);
   }
 
-  /// Cancel a pending event.  Safe to call with an already-run or invalid id
-  /// (it becomes a no-op).
+  /// Cancel a pending event.  Safe to call with an already-run, already-
+  /// cancelled, or invalid id (it becomes a no-op).  O(1).
   void cancel(EventId id);
 
   /// Run events until the queue is empty or `t_end` is passed.  Events at
@@ -70,35 +90,83 @@ class Engine {
   /// Execute exactly one event if present.  Returns false if queue empty.
   bool step();
 
-  [[nodiscard]] bool empty() const {
-    return queue_.size() == cancelled_.size();
-  }
+  /// Exact: counts scheduled events that have neither run nor been
+  /// cancelled.  Stale cancels cannot skew it (generation tags reject them).
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+  [[nodiscard]] std::uint64_t pending_count() const { return live_count_; }
 
   /// If an event callback throws, the exception propagates out of run_*;
   /// the engine remains usable.
 
  private:
-  struct Event {
-    Nanos when;
-    std::uint8_t band;
-    std::uint64_t seq;  // FIFO tie-break
-    std::uint64_t id;
-    Callback cb;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      if (a.band != b.band) return a.band > b.band;
-      return a.seq > b.seq;
-    }
+  // 2^12 slots of 2^10 ns: ~1 us buckets spanning ~4.2 ms.  Timer and
+  // completion events land in the wheel; multi-ms device/SMI events take
+  // the far heap and migrate as the window advances.
+  static constexpr int kSlotShift = 10;
+  static constexpr Nanos kSlotNs = Nanos{1} << kSlotShift;
+  static constexpr std::uint32_t kNumSlots = 1u << 12;
+  static constexpr std::uint32_t kSlotMask = kNumSlots - 1;
+  static constexpr Nanos kSpanNs = kSlotNs * kNumSlots;
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  enum class Loc : std::uint8_t {
+    kFree,   // on the free list
+    kWheel,  // linked into a wheel slot
+    kFar,    // in the far (overflow) heap
+    kReady,  // in the ready heap
   };
 
+  struct Node {
+    Nanos when = 0;
+    std::uint64_t seq = 0;  // global FIFO tie-break
+    Callback cb;
+    std::uint32_t next = kNil;  // wheel slot list linkage
+    std::uint32_t prev = kNil;
+    std::uint32_t gen = 0;
+    std::uint8_t band = 0;
+    Loc loc = Loc::kFree;
+    bool cancelled = false;  // tombstone for heap-resident nodes
+  };
+
+  [[nodiscard]] static std::uint64_t encode(std::uint32_t idx,
+                                            std::uint32_t gen) {
+    return (static_cast<std::uint64_t>(gen) << 32) |
+           (static_cast<std::uint64_t>(idx) + 1);
+  }
+
+  std::uint32_t alloc_node();
+  void free_node(std::uint32_t idx);
+  void link_wheel(std::uint32_t idx);
+  void unlink_wheel(std::uint32_t idx);
+  void drain_slot(std::uint32_t slot, Nanos slot_start);
+  [[nodiscard]] std::uint32_t find_occupied_from(std::uint32_t slot) const;
+  void purge_cancelled_ready_top();
+  /// Advance wheel state until the ready heap holds a live event.
+  /// Returns false when no live events exist anywhere.
+  bool refill_ready();
+
+  // Ready/far heaps store pool indices; ordering lives in the pool nodes.
+  [[nodiscard]] bool ready_after(std::uint32_t a, std::uint32_t b) const;
+  [[nodiscard]] bool far_after(std::uint32_t a, std::uint32_t b) const;
+  void ready_push(std::uint32_t idx);
+  std::uint32_t ready_pop();
+  void far_push(std::uint32_t idx);
+  std::uint32_t far_pop();
+
   Nanos now_ = 0;
+  Nanos wheel_base_ = 0;  // slot-aligned start of the undrained window
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t live_count_ = 0;   // scheduled, not run, not cancelled
+  std::uint64_t wheel_count_ = 0;  // live nodes currently wheel-resident
+
+  std::vector<Node> pool_;
+  std::uint32_t free_head_ = kNil;
+  std::array<std::uint32_t, kNumSlots> slot_head_;
+  std::array<std::uint64_t, kNumSlots / 64> occupied_;
+  std::vector<std::uint32_t> ready_;
+  std::vector<std::uint32_t> far_;
 };
 
 }  // namespace hrt::sim

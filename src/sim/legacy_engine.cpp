@@ -1,0 +1,70 @@
+#include "sim/legacy_engine.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace hrt::sim {
+
+EventId LegacyEngine::schedule_at(Nanos when, Callback cb, EventBand band) {
+  if (when < now_) {
+    throw std::logic_error("LegacyEngine::schedule_at: time in the past");
+  }
+  const std::uint64_t id = next_seq_++;
+  queue_.push(Event{when, static_cast<std::uint8_t>(band), id, id,
+                    std::move(cb)});
+  live_.insert(id);
+  return EventId{id};
+}
+
+void LegacyEngine::cancel(EventId id) {
+  // Stale ids (already run, already cancelled, never issued) are no-ops;
+  // only a live id becomes a tombstone, so empty() stays exact.
+  if (id.valid() && live_.erase(id.value) != 0) {
+    cancelled_.insert(id.value);
+  }
+}
+
+bool LegacyEngine::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; we must copy the callback out before pop.
+    Event ev = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    assert(ev.when >= now_);
+    live_.erase(ev.id);
+    now_ = ev.when;
+    ++executed_;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t LegacyEngine::run_until(Nanos t_end) {
+  std::uint64_t n = 0;
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (cancelled_.count(top.id) != 0) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.when > t_end) break;
+    if (step()) ++n;
+  }
+  // Advance the clock to the horizon even if the queue ran dry earlier.
+  if (now_ < t_end) now_ = t_end;
+  return n;
+}
+
+std::uint64_t LegacyEngine::run_all() {
+  std::uint64_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+}  // namespace hrt::sim

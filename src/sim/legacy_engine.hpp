@@ -1,0 +1,79 @@
+// The original binary-heap event engine, kept as a comparison baseline.
+//
+// This is the seed implementation of the discrete-event core:
+// `std::priority_queue` ordered by (when, band, seq), cancellation via an
+// `std::unordered_set` of tombstoned ids that are skipped lazily at pop, and
+// `std::function` callbacks (one heap allocation per event with a capture
+// larger than two pointers).  The production `Engine` (sim/engine.hpp)
+// replaced all three; this class exists so `bench/micro_engine` can print
+// both numbers side by side and so the engine stress test can cross-check
+// the two implementations against each other.
+//
+// One fix relative to the seed: `empty()` used to compare queue size against
+// tombstone count, which drifts permanently if `cancel()` is ever called
+// with an id that already ran.  A live-id set makes it exact.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace hrt::sim {
+
+class LegacyEngine {
+ public:
+  using Callback = std::function<void()>;
+
+  LegacyEngine() = default;
+  LegacyEngine(const LegacyEngine&) = delete;
+  LegacyEngine& operator=(const LegacyEngine&) = delete;
+
+  [[nodiscard]] Nanos now() const { return now_; }
+
+  EventId schedule_at(Nanos when, Callback cb,
+                      EventBand band = EventBand::kDefault);
+
+  EventId schedule_after(Nanos delay, Callback cb,
+                         EventBand band = EventBand::kDefault) {
+    return schedule_at(now_ + delay, std::move(cb), band);
+  }
+
+  void cancel(EventId id);
+
+  std::uint64_t run_until(Nanos t_end);
+  std::uint64_t run_all();
+  bool step();
+
+  [[nodiscard]] bool empty() const { return live_.empty(); }
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    Nanos when;
+    std::uint8_t band;
+    std::uint64_t seq;  // FIFO tie-break
+    std::uint64_t id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      if (a.band != b.band) return a.band > b.band;
+      return a.seq > b.seq;
+    }
+  };
+
+  Nanos now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::unordered_set<std::uint64_t> live_;  // scheduled, not run or cancelled
+};
+
+}  // namespace hrt::sim

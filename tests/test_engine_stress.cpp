@@ -1,0 +1,232 @@
+// Engine stress tests: randomized schedule/cancel/run interleavings checked
+// against a naive reference implementation, for both the timer-wheel Engine
+// and the seed priority-queue LegacyEngine.  Also pins the stale-cancel
+// regressions: empty() must stay exact and a recycled pool slot must not be
+// cancellable through an old handle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/legacy_engine.hpp"
+#include "sim/rng.hpp"
+
+namespace hrt::sim {
+namespace {
+
+// Naive reference model: a flat vector, linear min-scan on every pop.
+class ReferenceModel {
+ public:
+  void schedule(Nanos when, std::uint8_t band, std::uint64_t tag) {
+    pending_.push_back(Entry{when, band, next_seq_++, tag});
+  }
+
+  bool cancel(std::uint64_t tag) {
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (it->tag == tag) {
+        pending_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Pop every entry with when <= t_end in (when, band, seq) order,
+  /// appending tags to `order`.
+  void run_until(Nanos t_end, std::vector<std::uint64_t>& order) {
+    for (;;) {
+      std::size_t best = pending_.size();
+      for (std::size_t i = 0; i < pending_.size(); ++i) {
+        if (pending_[i].when > t_end) continue;
+        if (best == pending_.size() || before(pending_[i], pending_[best])) {
+          best = i;
+        }
+      }
+      if (best == pending_.size()) return;
+      order.push_back(pending_[best].tag);
+      now_ = pending_[best].when;
+      pending_.erase(pending_.begin() +
+                     static_cast<std::ptrdiff_t>(best));
+    }
+  }
+
+  [[nodiscard]] bool empty() const { return pending_.empty(); }
+  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+  [[nodiscard]] Nanos now() const { return now_; }
+
+ private:
+  struct Entry {
+    Nanos when;
+    std::uint8_t band;
+    std::uint64_t seq;
+    std::uint64_t tag;
+  };
+  static bool before(const Entry& a, const Entry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    if (a.band != b.band) return a.band < b.band;
+    return a.seq < b.seq;
+  }
+
+  std::vector<Entry> pending_;
+  std::uint64_t next_seq_ = 0;
+  Nanos now_ = 0;
+};
+
+template <typename EngineT>
+class EngineStress : public ::testing::Test {};
+
+using EngineTypes = ::testing::Types<Engine, LegacyEngine>;
+TYPED_TEST_SUITE(EngineStress, EngineTypes);
+
+TYPED_TEST(EngineStress, RandomInterleavingsMatchReference) {
+  for (std::uint64_t seed : {1u, 7u, 42u, 999u}) {
+    TypeParam eng;
+    ReferenceModel ref;
+    Rng rng(seed);
+
+    std::vector<std::uint64_t> got;       // engine execution order (tags)
+    std::vector<std::uint64_t> expected;  // reference execution order
+    struct Live {
+      EventId id;
+      std::uint64_t tag;
+    };
+    std::vector<Live> live;
+    std::vector<EventId> stale;  // handles of events that already ran
+    std::unordered_set<std::uint64_t> ran_tags;
+    std::size_t got_consumed = 0;
+    std::uint64_t next_tag = 1;
+
+    for (int step = 0; step < 4000; ++step) {
+      const double p = rng.next_double();
+      if (p < 0.55) {
+        // Schedule: bias to short delays (timer scale), with a far tail
+        // that crosses the wheel-window boundary; delay 0 is legal.
+        Nanos delay;
+        const double q = rng.next_double();
+        if (q < 0.6) {
+          delay = rng.uniform(0, micros(100));
+        } else if (q < 0.9) {
+          delay = rng.uniform(micros(100), millis(6));
+        } else {
+          delay = rng.uniform(millis(6), millis(60));
+        }
+        const auto band = static_cast<EventBand>(rng.uniform(0, 3));
+        const std::uint64_t tag = next_tag++;
+        const EventId id = eng.schedule_after(
+            delay, [tag, &got] { got.push_back(tag); }, band);
+        ref.schedule(eng.now() + delay, static_cast<std::uint8_t>(band),
+                     tag);
+        live.push_back(Live{id, tag});
+      } else if (p < 0.75 && !live.empty()) {
+        // Cancel a pending event.
+        const auto i = static_cast<std::size_t>(
+            rng.uniform(0, static_cast<std::int64_t>(live.size()) - 1));
+        eng.cancel(live[i].id);
+        ASSERT_TRUE(ref.cancel(live[i].tag));
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+      } else if (p < 0.8 && !stale.empty()) {
+        // Stale cancel: the event already ran; must be an exact no-op.
+        const auto i = static_cast<std::size_t>(
+            rng.uniform(0, static_cast<std::int64_t>(stale.size()) - 1));
+        eng.cancel(stale[i]);
+      } else if (p < 0.95) {
+        const Nanos horizon = eng.now() + rng.uniform(0, micros(500));
+        eng.run_until(horizon);
+        ref.run_until(horizon, expected);
+      } else {
+        eng.run_all();
+        ref.run_until(std::numeric_limits<Nanos>::max() / 2, expected);
+      }
+
+      // Retire executed events from the live set into the stale pool.
+      ASSERT_EQ(got.size(), expected.size()) << "seed " << seed;
+      if (got_consumed < got.size()) {
+        for (; got_consumed < got.size(); ++got_consumed) {
+          ran_tags.insert(got[got_consumed]);
+        }
+        for (auto it = live.begin(); it != live.end();) {
+          if (ran_tags.count(it->tag) != 0) {
+            stale.push_back(it->id);
+            it = live.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+      ASSERT_EQ(eng.empty(), ref.empty()) << "seed " << seed;
+    }
+
+    eng.run_all();
+    ref.run_until(std::numeric_limits<Nanos>::max() / 2, expected);
+    ASSERT_EQ(got, expected) << "seed " << seed;
+    EXPECT_TRUE(eng.empty());
+    EXPECT_EQ(eng.events_executed(), got.size());
+  }
+}
+
+// Regression (seed bug): empty() compared queue size against tombstone
+// count, so a cancel() with an id that had already run made the engine
+// report non-empty forever.
+TYPED_TEST(EngineStress, EmptyStaysExactUnderStaleCancel) {
+  TypeParam eng;
+  const EventId id = eng.schedule_at(10, [] {});
+  EXPECT_FALSE(eng.empty());
+  EXPECT_EQ(eng.run_all(), 1u);
+  EXPECT_TRUE(eng.empty());
+
+  eng.cancel(id);  // stale: the event already ran
+  EXPECT_TRUE(eng.empty());
+
+  bool ran = false;
+  eng.schedule_at(20, [&ran] { ran = true; });
+  EXPECT_FALSE(eng.empty());
+  EXPECT_EQ(eng.run_all(), 1u);
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(eng.empty());
+}
+
+TYPED_TEST(EngineStress, DoubleCancelThenDrainReportsEmpty) {
+  TypeParam eng;
+  const EventId id = eng.schedule_at(50, [] {});
+  eng.cancel(id);
+  eng.cancel(id);  // second cancel of the same id is a no-op
+  EXPECT_EQ(eng.run_all(), 0u);
+  EXPECT_TRUE(eng.empty());
+}
+
+// Generation tags: a recycled pool slot must reject handles from its
+// previous life.  (Only meaningful for the wheel engine; the legacy engine
+// never reuses ids.)
+TEST(EngineGenerations, StaleHandleCannotCancelRecycledSlot) {
+  Engine eng;
+  int first = 0;
+  int second = 0;
+  const EventId id1 = eng.schedule_at(10, [&first] { ++first; });
+  eng.run_all();
+  EXPECT_EQ(first, 1);
+
+  // The pool slot of id1 is free; this schedule reuses it.
+  eng.schedule_at(20, [&second] { ++second; });
+  eng.cancel(id1);  // stale handle into a recycled slot: must be a no-op
+  EXPECT_FALSE(eng.empty());
+  eng.run_all();
+  EXPECT_EQ(second, 1);
+}
+
+TEST(EngineGenerations, CancelReclaimsWheelSlotImmediately) {
+  Engine eng;
+  for (int round = 0; round < 1000; ++round) {
+    const EventId id = eng.schedule_after(micros(5), [] {});
+    eng.cancel(id);
+  }
+  EXPECT_TRUE(eng.empty());
+  EXPECT_EQ(eng.run_all(), 0u);
+  EXPECT_EQ(eng.events_executed(), 0u);
+}
+
+}  // namespace
+}  // namespace hrt::sim

@@ -59,10 +59,22 @@ TEST(BoundedHeap, RemoveArbitraryElement) {
 TEST(BoundedHeap, ExtractIfFindsMatchingElement) {
   BoundedHeap<int, Less> h(8);
   for (int v : {3, 8, 5, 12}) ASSERT_TRUE(h.push(v));
-  const int got = h.extract_if([](int v) { return v > 6; });
-  EXPECT_TRUE(got == 8 || got == 12);
+  const std::optional<int> got = h.extract_if([](int v) { return v > 6; });
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(*got == 8 || *got == 12);
   EXPECT_EQ(h.size(), 3u);
-  EXPECT_EQ(h.extract_if([](int v) { return v > 100; }), 0);  // T{}
+  EXPECT_EQ(h.extract_if([](int v) { return v > 100; }), std::nullopt);
+}
+
+TEST(BoundedHeap, ExtractIfDistinguishesMatchedDefaultFromMiss) {
+  // A matched default-constructed value used to be indistinguishable from
+  // "nothing matched"; std::optional separates the two.
+  BoundedHeap<int, Less> h(8);
+  ASSERT_TRUE(h.push(0));
+  const std::optional<int> got = h.extract_if([](int v) { return v == 0; });
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 0);
+  EXPECT_EQ(h.extract_if([](int v) { return v == 0; }), std::nullopt);
 }
 
 TEST(BoundedHeap, ForEachVisitsAll) {
@@ -105,6 +117,159 @@ TEST_P(HeapRandomSweep, MatchesReferenceModel) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, HeapRandomSweep,
                          ::testing::Values(1, 7, 13, 21, 42, 1001));
+
+// ---------- Intrusive index tracking ----------
+
+struct Item {
+  int key = 0;
+  HeapIndex heap_index;
+};
+
+struct ItemBefore {
+  bool operator()(const Item* a, const Item* b) const {
+    return a->key < b->key;
+  }
+};
+
+using IndexedHeap = BoundedHeap<Item*, ItemBefore, MemberIndex<Item*>>;
+
+TEST(IndexedHeap, RemoveIsExactAndMissesAreCheap) {
+  std::vector<Item> items(8);
+  for (int i = 0; i < 8; ++i) items[static_cast<std::size_t>(i)].key = i;
+  IndexedHeap h(8);
+  for (auto& it : items) ASSERT_TRUE(h.push(&it));
+
+  EXPECT_TRUE(h.contains(&items[3]));
+  EXPECT_TRUE(h.remove(&items[3]));
+  EXPECT_FALSE(h.contains(&items[3]));
+  EXPECT_FALSE(h.remove(&items[3]));  // already gone: O(1) miss
+  EXPECT_EQ(items[3].heap_index.owner, nullptr);
+
+  std::vector<int> out;
+  while (!h.empty()) out.push_back(h.pop()->key);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 4, 5, 6, 7}));
+  for (const auto& it : items) {
+    EXPECT_EQ(it.heap_index.owner, nullptr);
+  }
+}
+
+TEST(IndexedHeap, RemoveFromOtherHeapIsRejected) {
+  Item a{1, {}};
+  Item b{2, {}};
+  IndexedHeap h1(4);
+  IndexedHeap h2(4);
+  ASSERT_TRUE(h1.push(&a));
+  ASSERT_TRUE(h2.push(&b));
+  // b lives in h2: h1 must refuse without touching it.
+  EXPECT_FALSE(h1.remove(&b));
+  EXPECT_TRUE(h2.contains(&b));
+  EXPECT_TRUE(h2.remove(&b));
+  EXPECT_TRUE(h1.remove(&a));
+}
+
+TEST(IndexedHeap, ExtractIfClearsIndex) {
+  Item a{5, {}};
+  IndexedHeap h(4);
+  ASSERT_TRUE(h.push(&a));
+  const auto got = h.extract_if([](const Item* i) { return i->key == 5; });
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, &a);
+  EXPECT_EQ(a.heap_index.owner, nullptr);
+  EXPECT_EQ(h.extract_if([](const Item*) { return true; }), std::nullopt);
+}
+
+class IndexedHeapSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Property test: heap order, capacity, and index integrity (owner + position
+// agree with the heap's actual contents) under random push/pop/remove/
+// extract_if, with elements migrating between two heaps.
+TEST_P(IndexedHeapSweep, InvariantsUnderRandomOps) {
+  constexpr std::size_t kCap = 48;
+  std::vector<Item> arena(128);
+  for (std::size_t i = 0; i < arena.size(); ++i) {
+    arena[i].key = static_cast<int>(i % 31);
+  }
+  IndexedHeap heaps[2] = {IndexedHeap(kCap), IndexedHeap(kCap)};
+  std::vector<Item*> model[2];
+  std::vector<Item*> free_items;
+  for (auto& it : arena) free_items.push_back(&it);
+  sim::Rng rng(GetParam());
+
+  auto check_invariants = [&](int side) {
+    ASSERT_EQ(heaps[side].size(), model[side].size());
+    ASSERT_LE(heaps[side].size(), kCap);
+    if (!model[side].empty()) {
+      Item* best = *std::min_element(model[side].begin(), model[side].end(),
+                                     ItemBefore());
+      ASSERT_EQ(heaps[side].top()->key, best->key);
+    }
+    std::size_t visited = 0;
+    heaps[side].for_each([&](const Item* it) {
+      ++visited;
+      ASSERT_EQ(it->heap_index.owner, &heaps[side]);
+    });
+    ASSERT_EQ(visited, model[side].size());
+  };
+
+  for (int step = 0; step < 4000; ++step) {
+    const int side = static_cast<int>(rng.uniform(0, 1));
+    const double p = rng.next_double();
+    if (p < 0.40 && !free_items.empty()) {
+      const auto i = static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(free_items.size()) - 1));
+      Item* it = free_items[i];
+      const bool pushed = heaps[side].push(it);
+      ASSERT_EQ(pushed, model[side].size() < kCap);
+      if (pushed) {
+        model[side].push_back(it);
+        free_items.erase(free_items.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+      }
+    } else if (p < 0.65 && !model[side].empty()) {
+      Item* got = heaps[side].pop();
+      auto it = std::min_element(model[side].begin(), model[side].end(),
+                                 ItemBefore());
+      ASSERT_EQ(got->key, (*it)->key);
+      // Equal keys are interchangeable for ordering; drop the exact pointer
+      // the heap returned.
+      auto exact = std::find(model[side].begin(), model[side].end(), got);
+      ASSERT_NE(exact, model[side].end());
+      model[side].erase(exact);
+      free_items.push_back(got);
+      ASSERT_EQ(got->heap_index.owner, nullptr);
+    } else if (p < 0.85 && !model[side].empty()) {
+      const auto i = static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(model[side].size()) - 1));
+      Item* it = model[side][i];
+      ASSERT_TRUE(heaps[side].remove(it));
+      ASSERT_FALSE(heaps[side].remove(it));
+      ASSERT_EQ(it->heap_index.owner, nullptr);
+      model[side].erase(model[side].begin() + static_cast<std::ptrdiff_t>(i));
+      free_items.push_back(it);
+    } else if (!model[side].empty()) {
+      const int want = static_cast<int>(rng.uniform(0, 30));
+      const auto got = heaps[side].extract_if(
+          [want](const Item* it) { return it->key == want; });
+      auto it = std::find_if(model[side].begin(), model[side].end(),
+                             [want](Item* m) { return m->key == want; });
+      if (it == model[side].end()) {
+        ASSERT_EQ(got, std::nullopt);
+      } else {
+        ASSERT_TRUE(got.has_value());
+        ASSERT_EQ((*got)->key, want);
+        auto exact = std::find(model[side].begin(), model[side].end(), *got);
+        ASSERT_NE(exact, model[side].end());
+        model[side].erase(exact);
+        free_items.push_back(*got);
+      }
+    }
+    check_invariants(0);
+    check_invariants(1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexedHeapSweep,
+                         ::testing::Values(3, 17, 29, 77, 424242));
 
 }  // namespace
 }  // namespace hrt::rt
