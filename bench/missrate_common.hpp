@@ -33,6 +33,10 @@ inline MissPoint measure_miss(const hrt::hw::MachineSpec& base_spec,
   o.spec.num_cpus = 4;
   o.seed = seed;
   o.sched.admission_enabled = false;  // let infeasible constraints through
+  // Accumulate-mode invariant audits (docs/AUDIT.md): the scheduler state is
+  // checked every pass even in the deliberately infeasible cells; violations
+  // go to stderr below without disturbing the figure output.
+  o.audit.enabled = true;
   System sys(std::move(o));
   sys.boot();
 
@@ -49,6 +53,13 @@ inline MissPoint measure_miss(const hrt::hw::MachineSpec& base_spec,
       });
   nk::Thread* t = sys.spawn("sweep", std::move(behavior), 1);
   sys.run_for(horizon);
+
+  if (sys.auditor().total_violations() > 0) {
+    std::fprintf(stderr,
+                 "[audit] %llu invariant violations (period=%lld pct=%d)\n",
+                 (unsigned long long)sys.auditor().total_violations(),
+                 (long long)period, slice_pct);
+  }
 
   MissPoint p{};
   p.period = period;

@@ -1,6 +1,9 @@
 #include "group/group.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "audit/auditor.hpp"
 
 namespace hrt::grp {
 
@@ -34,9 +37,18 @@ nk::Action GroupBarrier::scan_action() {
 }
 
 nk::Action GroupBarrier::arrive_action() {
-  return nk::Action::atomic(&line_, atomic_ns_, [this](nk::ThreadCtx&) {
+  return nk::Action::atomic(&line_, atomic_ns_, [this](nk::ThreadCtx& ctx) {
     if (++arrivals_ == expected_) {
       flag_.set();
+    }
+    audit::Auditor* aud = kernel_.auditor();
+    if (aud != nullptr && aud->enabled() && aud->config().check_group) {
+      aud->count_check();
+      if (arrivals_ > expected_) {
+        aud->record(audit::Invariant::kGroup, ctx.self.cpu, ctx.wall_now,
+                    "barrier arrivals " + std::to_string(arrivals_) +
+                        " exceed expected " + std::to_string(expected_));
+      }
     }
   });
 }
@@ -50,6 +62,15 @@ nk::Action GroupBarrier::depart_action(
   return nk::Action::atomic(
       &line_, transfer_ns_, [this, fx = std::move(fx)](nk::ThreadCtx& ctx) {
         const int order = static_cast<int>(departures_++);
+        audit::Auditor* aud = kernel_.auditor();
+        if (aud != nullptr && aud->enabled() && aud->config().check_group) {
+          aud->count_check();
+          if (departures_ > arrivals_) {
+            aud->record(audit::Invariant::kGroup, ctx.self.cpu, ctx.wall_now,
+                        "barrier departures " + std::to_string(departures_) +
+                            " exceed arrivals " + std::to_string(arrivals_));
+          }
+        }
         if (fx) fx(ctx, order);
       });
 }

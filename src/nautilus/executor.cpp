@@ -209,6 +209,9 @@ void CpuExecutor::finish_handler(PassResult pr, bool via_irq) {
     kernel_.reap(prev);
   }
   sched_->arm_timer(wall_now());
+  // Invariant-audit checkpoint: the switch has settled and every queued
+  // thread should be in a consistent state (no-op unless audits are on).
+  sched_->audit_state(wall_now());
   run_span_start_ = now;
   run_span_open_ = true;
   mode_ = Mode::kThread;

@@ -26,6 +26,10 @@
 #include "nautilus/topology.hpp"
 #include "timesync/calibration.hpp"
 
+namespace hrt::audit {
+class Auditor;
+}
+
 namespace hrt::nk {
 
 class Kernel {
@@ -48,6 +52,9 @@ class Kernel {
     std::uint32_t zone_arena_min_order = 12;  // 4 KiB blocks
     std::uint32_t zone_arena_max_order = 26;  // 64 MiB per zone
     std::uint64_t thread_state_bytes = 16384; // stack + TCB per thread
+    /// Invariant auditor shared by all schedulers and group collectives
+    /// (owned by the caller, typically rt::System); null disables audits.
+    audit::Auditor* auditor = nullptr;
   };
 
   /// Per-CPU GPIO instrumentation for the external-scope experiment
@@ -104,6 +111,7 @@ class Kernel {
   [[nodiscard]] const timesync::CalibrationResult& calibration() const {
     return calibration_;
   }
+  [[nodiscard]] audit::Auditor* auditor() const { return options_.auditor; }
 
   /// Submit a lightweight task to a CPU's scheduler.
   void submit_task(std::uint32_t cpu, Task task);

@@ -94,6 +94,10 @@ class SchedulerBase {
   /// Introspection for tests and admission bookkeeping.
   [[nodiscard]] virtual std::size_t thread_count() const = 0;
   [[nodiscard]] virtual double admitted_utilization() const = 0;
+
+  /// Invariant-audit checkpoint (audit/auditor.hpp), called by the executor
+  /// after every handler once the switch has settled.  Default: no checks.
+  virtual void audit_state(sim::Nanos /*local_now*/) {}
 };
 
 }  // namespace hrt::nk

@@ -1,8 +1,11 @@
 #include "rt/local_scheduler.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <string>
 
+#include "audit/auditor.hpp"
 #include "nautilus/executor.hpp"
 #include "nautilus/kernel.hpp"
 
@@ -11,6 +14,11 @@ namespace hrt::rt {
 namespace {
 constexpr double kEps = 1e-9;
 constexpr sim::Nanos kNoTimer = -1;
+// Utilization ledgers accumulate float error across admit/exit cycles; the
+// audit recomputation tolerates this much drift.
+constexpr double kLedgerEps = 1e-6;
+// Zero-delay one-shot re-arms in a row before the auditor calls it a storm.
+constexpr std::uint32_t kZeroArmStormThreshold = 64;
 }  // namespace
 
 LocalScheduler::LocalScheduler(nk::Kernel& kernel, std::uint32_t cpu,
@@ -19,22 +27,24 @@ LocalScheduler::LocalScheduler(nk::Kernel& kernel, std::uint32_t cpu,
       cpu_(cpu),
       cfg_(cfg),
       slop_(kernel.machine().spec().timer.apic_tick_ns + 1),
+      auditor_(kernel.auditor()),
       pending_(cfg.max_threads),
       rt_run_(cfg.max_threads),
       nonrt_(cfg.max_threads),
-      sleepers_(cfg.max_threads) {}
-
-void LocalScheduler::push_or_throw(nk::Thread* t) {
-  bool ok = false;
-  if (t->rt.in_pending) {
-    ok = pending_.push(t);
-  } else if (t->is_realtime() && t->rt.arrival_open) {
-    ok = rt_run_.push(t);
+      sleepers_(cfg.max_threads) {
+  // Budget-conservation tolerance: timer quantization (arming rounds the
+  // enforcement interrupt up, and it can land one pass late) plus, when the
+  // machine has SMIs, a bounded missing-time allowance — frozen windows are
+  // charged to the running thread's budget (section 3.6), so an arrival can
+  // legitimately overrun sigma by the missing time it absorbed.
+  const auto& spec = kernel.machine().spec();
+  if (auditor_ != nullptr && auditor_->config().budget_slop >= 0) {
+    budget_audit_slop_ = slop_ + auditor_->config().budget_slop;
   } else {
-    ok = nonrt_.push(t);
-  }
-  if (!ok) {
-    throw std::runtime_error("LocalScheduler: thread limit exceeded");
+    budget_audit_slop_ = 2 * slop_ + sim::micros(1);
+    if (spec.smi.enabled) {
+      budget_audit_slop_ += 8 * spec.smi.max_duration_ns;
+    }
   }
 }
 
@@ -52,6 +62,7 @@ void LocalScheduler::open_arrival(nk::Thread* t) {
 }
 
 void LocalScheduler::close_arrival(nk::Thread* t, sim::Nanos now) {
+  audit_budget(t, now);
   t->rt.arrival_open = false;
   ++t->rt.completions;
   if (now > t->rt.deadline) {
@@ -80,6 +91,14 @@ void LocalScheduler::close_arrival(nk::Thread* t, sim::Nanos now) {
     if (sporadic_util_ < 0) sporadic_util_ = 0;
     t->rt.density = 0.0;
     t->constraints = Constraints::aperiodic(t->constraints.priority);
+    if (!cfg_.test_faults.stale_sporadic_tail) {
+      // The tail enters the aperiodic class at the back of the round-robin
+      // order: a stale rr_seq from before admission would let it jump ahead
+      // of threads that have been waiting.  Any reservation made on its
+      // behalf during the RT phase is utilization it no longer claims.
+      t->rr_seq = ++rr_seq_counter_;
+      cancel_reservation(*t);
+    }
   }
 }
 
@@ -95,9 +114,17 @@ void LocalScheduler::pump(sim::Nanos now) {
   while (!sleepers_.empty() && sleepers_.top()->wake_time <= now + slop_) {
     nk::Thread* t = sleepers_.pop();
     t->state = nk::Thread::State::kReady;
-    t->rr_seq = ++rr_seq_counter_;
-    if (!nonrt_.push(t)) {
-      throw std::runtime_error("LocalScheduler: nonrt queue full");
+    if (t->is_realtime() && t->rt.arrival_open) {
+      // An RT thread that slept mid-arrival resumes EDF competition; parking
+      // it with the aperiodics would let lower-class work starve it.
+      if (!rt_run_.push(t)) {
+        throw std::runtime_error("LocalScheduler: rt run queue full");
+      }
+    } else {
+      t->rr_seq = ++rr_seq_counter_;
+      if (!nonrt_.push(t)) {
+        throw std::runtime_error("LocalScheduler: nonrt queue full");
+      }
     }
   }
 }
@@ -198,6 +225,7 @@ nk::PassResult LocalScheduler::pass(nk::PassReason reason, sim::Nanos now) {
   }
 
   nk::Thread* next = select_next(now, reason);
+  audit_edf_order(next, now);
   if (next != cur) quantum_start_ = now;
 
   nk::PassResult result;
@@ -247,7 +275,16 @@ void LocalScheduler::arm_timer(sim::Nanos now) {
   if (!sleepers_.empty()) consider(sleepers_.top()->wake_time);
   if (lazy_wake_ >= 0) consider(lazy_wake_);
   if (cur != nullptr && !cur->is_realtime() && !nonrt_.empty()) {
-    consider(quantum_start_ + cfg_.aperiodic_quantum);
+    // The rotation point can already be in the past: the quantum expired but
+    // select_next kept the current thread (everything queued is lower
+    // priority).  Re-arming at the stale target would fire a one-shot every
+    // APIC tick forever; this pass already made the rotation decision for
+    // the elapsed quantum, so the next check is one full quantum out.
+    sim::Nanos rotation = quantum_start_ + cfg_.aperiodic_quantum;
+    if (rotation <= now && !cfg_.test_faults.rearm_past_quantum) {
+      rotation = now + cfg_.aperiodic_quantum;
+    }
+    consider(rotation);
   }
   // Safety net: if RT work is queued but not current (e.g. the lazy
   // variant is holding), make sure a pass happens by its deadline.
@@ -263,6 +300,22 @@ void LocalScheduler::arm_timer(sim::Nanos now) {
   }
   sim::Nanos delay = next - now;
   if (delay < 0) delay = 0;
+  if (delay == 0) {
+    ++stats_.zero_delay_arms;
+    ++zero_arm_streak_;
+    if (zero_arm_streak_ >= kZeroArmStormThreshold) {
+      zero_arm_streak_ = 0;
+      if (auditor_ != nullptr && auditor_->enabled() &&
+          auditor_->config().check_timer) {
+        auditor_->record(audit::Invariant::kTimerArm, cpu_, now,
+                         "one-shot timer re-armed at zero delay " +
+                             std::to_string(kZeroArmStormThreshold) +
+                             " times in a row (past-target storm)");
+      }
+    }
+  } else {
+    zero_arm_streak_ = 0;
+  }
   apic.arm_oneshot(delay);
 }
 
@@ -390,13 +443,24 @@ bool LocalScheduler::change_constraints(nk::Thread& t, const Constraints& c,
     return false;
   }
   ++stats_.admissions_ok;
+  // A sleeping thread keeps sleeping across a class change: detaching pulls
+  // it out of sleepers_, so it must be re-queued there (aperiodic) or left
+  // to wake into its first arrival (RT classes pass through pending_, whose
+  // pump ignores thread state, so the sleep is cut short by admission — the
+  // constraint's phase is the tool for delaying the first arrival).
+  const bool was_sleeping = t.state == nk::Thread::State::kSleeping;
   detach_bookkeeping(&t);
   t.constraints = c;
   t.rt = nk::Thread::RtState{};
   t.rt.gamma = gamma;
   switch (c.cls) {
     case ConstraintClass::kAperiodic: {
-      if (&t != exec_->current()) {
+      if (was_sleeping && !cfg_.test_faults.sleeping_change_to_nonrt) {
+        // wake_time is still valid; the pump wakes it on schedule.
+        if (!sleepers_.push(&t)) {
+          throw std::runtime_error("LocalScheduler: sleep queue full");
+        }
+      } else if (&t != exec_->current()) {
         t.rr_seq = ++rr_seq_counter_;
         if (!nonrt_.push(&t)) {
           throw std::runtime_error("LocalScheduler: nonrt queue full");
@@ -405,6 +469,7 @@ bool LocalScheduler::change_constraints(nk::Thread& t, const Constraints& c,
       break;
     }
     case ConstraintClass::kPeriodic: {
+      if (was_sleeping) t.state = nk::Thread::State::kReady;
       admitted_periodic_util_ += c.utilization();
       periodic_set_.push_back(&t);
       t.rt.arrival = gamma + c.phase;
@@ -415,6 +480,7 @@ bool LocalScheduler::change_constraints(nk::Thread& t, const Constraints& c,
       break;
     }
     case ConstraintClass::kSporadic: {
+      if (was_sleeping) t.state = nk::Thread::State::kReady;
       t.rt.density = c.utilization();
       sporadic_util_ += t.rt.density;
       t.rt.arrival = gamma + c.phase;
@@ -464,9 +530,15 @@ bool LocalScheduler::try_wake(nk::Thread& t) {
   if (t.state != nk::Thread::State::kSleeping) return false;
   if (!sleepers_.remove(&t)) return false;
   t.state = nk::Thread::State::kReady;
-  t.rr_seq = ++rr_seq_counter_;
-  if (!nonrt_.push(&t)) {
-    throw std::runtime_error("LocalScheduler: nonrt queue full");
+  if (t.is_realtime() && t.rt.arrival_open) {
+    if (!rt_run_.push(&t)) {
+      throw std::runtime_error("LocalScheduler: rt run queue full");
+    }
+  } else {
+    t.rr_seq = ++rr_seq_counter_;
+    if (!nonrt_.push(&t)) {
+      throw std::runtime_error("LocalScheduler: nonrt queue full");
+    }
   }
   return true;
 }
@@ -503,8 +575,154 @@ nk::Thread* LocalScheduler::try_steal() {
 }
 
 std::size_t LocalScheduler::thread_count() const {
-  return pending_.size() + rt_run_.size() + nonrt_.size() + sleepers_.size() +
-         (exec_ != nullptr && exec_->current() != nullptr ? 1 : 0);
+  std::size_t n =
+      pending_.size() + rt_run_.size() + nonrt_.size() + sleepers_.size();
+  // The current thread is counted only when no queue holds it: mid-pass,
+  // select_next may already have re-queued it into rt_run_/nonrt_ (rotation,
+  // RT preemption), and counting it twice inflates the pass cost charged.
+  const nk::Thread* cur =
+      exec_ != nullptr ? exec_->current() : nullptr;
+  if (cur != nullptr && (cur->heap_index.owner == nullptr ||
+                         cfg_.test_faults.double_count_current)) {
+    ++n;
+  }
+  return n;
+}
+
+// --- invariant audits (audit/auditor.hpp) ---------------------------------
+//
+// All checks are gated on the auditor being present and enabled, so a
+// default-configured system pays one null-pointer test per hook.
+
+void LocalScheduler::audit_state(sim::Nanos now) {
+  if (auditor_ == nullptr || !auditor_->enabled()) return;
+  if (auditor_->config().check_queues) audit_queues(now);
+  if (auditor_->config().check_utilization) audit_utilization(now);
+}
+
+void LocalScheduler::audit_queues(sim::Nanos now) {
+  auditor_->count_check();
+  auto bad = [&](const std::string& detail) {
+    auditor_->record(audit::Invariant::kQueueState, cpu_, now, detail);
+  };
+  std::string why;
+  if (!pending_.validate(&why)) bad("pending_: " + why);
+  if (!rt_run_.validate(&why)) bad("rt_run_: " + why);
+  if (!nonrt_.validate(&why)) bad("nonrt_: " + why);
+  if (!sleepers_.validate(&why)) bad("sleepers_: " + why);
+
+  const nk::Thread* cur = exec_ != nullptr ? exec_->current() : nullptr;
+  auto who = [](const nk::Thread* t) {
+    return "thread " + std::to_string(t->id) + " (" + t->name + ")";
+  };
+  pending_.for_each([&](const nk::Thread* t) {
+    if (t == cur) bad(who(t) + " is current but queued in pending_");
+    if (!t->rt.in_pending) bad(who(t) + " in pending_ without in_pending set");
+    if (!t->is_realtime()) bad(who(t) + " in pending_ but not real-time");
+    if (t->state != nk::Thread::State::kReady) {
+      bad(who(t) + " in pending_ with non-ready state");
+    }
+  });
+  rt_run_.for_each([&](const nk::Thread* t) {
+    if (t == cur) bad(who(t) + " is current but queued in rt_run_");
+    if (!t->is_realtime() || !t->rt.arrival_open) {
+      bad(who(t) + " in rt_run_ without an open RT arrival");
+    }
+    if (t->rt.in_pending) bad(who(t) + " in rt_run_ with in_pending set");
+    if (t->state != nk::Thread::State::kReady) {
+      bad(who(t) + " in rt_run_ with non-ready state");
+    }
+  });
+  nonrt_.for_each([&](const nk::Thread* t) {
+    if (t == cur) bad(who(t) + " is current but queued in nonrt_");
+    if (t->is_realtime() && t->rt.arrival_open) {
+      bad(who(t) + " has an open RT arrival but sits in nonrt_");
+    }
+    if (t->state != nk::Thread::State::kReady) {
+      bad(who(t) + " in nonrt_ with non-ready state");
+    }
+  });
+  sleepers_.for_each([&](const nk::Thread* t) {
+    if (t == cur) bad(who(t) + " is current but queued in sleepers_");
+    if (t->state != nk::Thread::State::kSleeping) {
+      bad(who(t) + " in sleepers_ but not sleeping");
+    }
+  });
+}
+
+void LocalScheduler::audit_utilization(sim::Nanos now) {
+  auditor_->count_check();
+  double periodic = 0.0;
+  for (const nk::Thread* t : periodic_set_) {
+    periodic += t->constraints.utilization();
+  }
+  if (std::abs(periodic - admitted_periodic_util_) > kLedgerEps) {
+    auditor_->record(
+        audit::Invariant::kUtilization, cpu_, now,
+        "periodic ledger " + std::to_string(admitted_periodic_util_) +
+            " != recomputed " + std::to_string(periodic));
+  }
+  double sporadic = 0.0;
+  auto add = [&sporadic](const nk::Thread* t) {
+    if (t->constraints.cls == ConstraintClass::kSporadic) {
+      sporadic += t->rt.density;
+    }
+  };
+  pending_.for_each(add);
+  rt_run_.for_each(add);
+  nonrt_.for_each(add);
+  sleepers_.for_each(add);
+  const nk::Thread* cur = exec_ != nullptr ? exec_->current() : nullptr;
+  if (cur != nullptr && cur->heap_index.owner == nullptr) add(cur);
+  if (std::abs(sporadic - sporadic_util_) > kLedgerEps) {
+    auditor_->record(audit::Invariant::kUtilization, cpu_, now,
+                     "sporadic ledger " + std::to_string(sporadic_util_) +
+                         " != recomputed " + std::to_string(sporadic));
+  }
+}
+
+void LocalScheduler::audit_edf_order(const nk::Thread* next, sim::Nanos now) {
+  if (auditor_ == nullptr || !auditor_->enabled() ||
+      !auditor_->config().check_edf_order || !cfg_.eager) {
+    return;  // the lazy ablation delays RT dispatch by design
+  }
+  auditor_->count_check();
+  if (rt_run_.empty()) return;
+  const nk::Thread* top = rt_run_.top();
+  if (next == nullptr || !next->is_realtime() || !next->rt.arrival_open) {
+    auditor_->record(audit::Invariant::kEdfOrder, cpu_, now,
+                     "dispatching a non-RT thread while thread " +
+                         std::to_string(top->id) + " (deadline " +
+                         std::to_string(top->rt.deadline) +
+                         ") waits in rt_run_");
+  } else if (top->rt.deadline < next->rt.deadline) {
+    auditor_->record(audit::Invariant::kEdfOrder, cpu_, now,
+                     "dispatching thread " + std::to_string(next->id) +
+                         " (deadline " + std::to_string(next->rt.deadline) +
+                         ") over earlier-deadline thread " +
+                         std::to_string(top->id) + " (deadline " +
+                         std::to_string(top->rt.deadline) + ")");
+  }
+}
+
+void LocalScheduler::audit_budget(const nk::Thread* t, sim::Nanos now) {
+  if (auditor_ == nullptr || !auditor_->enabled() ||
+      !auditor_->config().check_budget) {
+    return;
+  }
+  auditor_->count_check();
+  const sim::Nanos overrun = -t->rt.budget_left;
+  if (overrun > budget_audit_slop_) {
+    const sim::Nanos sigma = t->constraints.cls == ConstraintClass::kPeriodic
+                                 ? t->constraints.slice
+                                 : t->constraints.size;
+    auditor_->record(audit::Invariant::kBudget, cpu_, now,
+                     "thread " + std::to_string(t->id) + " charged " +
+                         std::to_string(sigma + overrun) +
+                         "ns against a budget of " + std::to_string(sigma) +
+                         "ns (tolerance " +
+                         std::to_string(budget_audit_slop_) + "ns)");
+  }
 }
 
 nk::Kernel::SchedulerFactory make_scheduler_factory(

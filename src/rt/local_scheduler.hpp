@@ -30,6 +30,10 @@
 #include "rt/constraints.hpp"
 #include "rt/queues.hpp"
 
+namespace hrt::audit {
+class Auditor;
+}
+
 namespace hrt::rt {
 
 enum class AdmissionPolicy : std::uint8_t {
@@ -59,6 +63,17 @@ class LocalScheduler final : public nk::SchedulerBase {
     // constraints"), enforced only when admission is enabled.
     sim::Nanos min_period = sim::micros(1);
     sim::Nanos min_slice = sim::micros(1);
+
+    /// Deliberately re-introduce fixed bugs so the auditor's regression
+    /// tests can prove each one is caught (test_audit.cpp); never set
+    /// outside tests.
+    struct TestFaults {
+      bool sleeping_change_to_nonrt = false;  // sleeper -> nonrt_ on change
+      bool stale_sporadic_tail = false;   // keep rr_seq + reservation on tail
+      bool double_count_current = false;  // thread_count() counts cur twice
+      bool rearm_past_quantum = false;    // arm quantum target in the past
+    };
+    TestFaults test_faults;
   };
 
   struct Stats {
@@ -69,6 +84,7 @@ class LocalScheduler final : public nk::SchedulerBase {
     std::uint64_t admissions_rejected = 0;
     std::uint64_t tasks_inline = 0;
     std::uint64_t rr_rotations = 0;
+    std::uint64_t zero_delay_arms = 0;  // one-shot armed with zero delay
   };
 
   LocalScheduler(nk::Kernel& kernel, std::uint32_t cpu, Config cfg);
@@ -92,6 +108,7 @@ class LocalScheduler final : public nk::SchedulerBase {
   [[nodiscard]] double admitted_utilization() const override {
     return admitted_periodic_util_ + sporadic_util_;
   }
+  void audit_state(sim::Nanos now) override;
 
   // --- introspection ---
   [[nodiscard]] const Config& config() const { return cfg_; }
@@ -99,6 +116,7 @@ class LocalScheduler final : public nk::SchedulerBase {
   [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
   [[nodiscard]] std::size_t rt_run_count() const { return rt_run_.size(); }
   [[nodiscard]] std::size_t nonrt_count() const { return nonrt_.size(); }
+  [[nodiscard]] std::size_t sleeper_count() const { return sleepers_.size(); }
   [[nodiscard]] double available_rt_utilization() const {
     return cfg_.utilization_limit - cfg_.sporadic_reservation -
            cfg_.aperiodic_reservation;
@@ -152,13 +170,19 @@ class LocalScheduler final : public nk::SchedulerBase {
   [[nodiscard]] bool admit_check(nk::Thread& t, const Constraints& c) const;
   [[nodiscard]] std::vector<PeriodicTask> periodic_tasks_with(
       const nk::Thread* exclude, const Constraints* extra) const;
-  void push_or_throw(nk::Thread* t);
+  void audit_queues(sim::Nanos now);
+  void audit_utilization(sim::Nanos now);
+  void audit_edf_order(const nk::Thread* next, sim::Nanos now);
+  void audit_budget(const nk::Thread* t, sim::Nanos now);
 
   nk::Kernel& kernel_;
   std::uint32_t cpu_;
   Config cfg_;
   nk::CpuExecutor* exec_ = nullptr;
   sim::Nanos slop_;  // timer earliness tolerance (one APIC tick)
+  audit::Auditor* auditor_ = nullptr;  // owned by System; may be null
+  sim::Nanos budget_audit_slop_ = 0;   // tolerance for the budget invariant
+  std::uint32_t zero_arm_streak_ = 0;  // consecutive zero-delay one-shots
 
   // Intrusively indexed: a thread knows which of these heaps holds it, so
   // remove()/detach are O(log n) and cross-queue probes are O(1) misses.

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -137,6 +138,33 @@ class BoundedHeap {
       for (T& v : heap_) unindex(v);
     }
     heap_.clear();
+  }
+
+  /// Structural audit: the heap order holds at every edge and, when indexed,
+  /// every element's HeapIndex points back here at the right position.  O(n);
+  /// meant for the invariant auditor, not the hot path.
+  [[nodiscard]] bool validate(std::string* why = nullptr) const {
+    for (std::size_t i = 1; i < heap_.size(); ++i) {
+      const std::size_t parent = (i - 1) / 2;
+      if (before_(heap_[i], heap_[parent])) {
+        if (why != nullptr) {
+          *why = "heap order violated at index " + std::to_string(i);
+        }
+        return false;
+      }
+    }
+    if constexpr (kIndexed) {
+      for (std::size_t i = 0; i < heap_.size(); ++i) {
+        const HeapIndex& hi = Index::of(heap_[i]);
+        if (hi.owner != this || hi.pos != i) {
+          if (why != nullptr) {
+            *why = "intrusive index mismatch at position " + std::to_string(i);
+          }
+          return false;
+        }
+      }
+    }
+    return true;
   }
 
  private:

@@ -78,6 +78,20 @@ void print_thread_report(System& sys, std::ostream& os,
   }
 }
 
+void print_audit_report(System& sys, std::ostream& os) {
+  const audit::Auditor& aud = sys.auditor();
+  if (!aud.enabled()) return;
+  os << "audit: " << aud.checks_run() << " checks, "
+     << aud.total_violations() << " violations\n";
+  for (const audit::Violation& v : aud.violations()) {
+    os << "  [" << audit::invariant_name(v.invariant) << "] cpu " << v.cpu
+       << " t=" << v.time << "ns: " << v.detail << "\n";
+  }
+  const std::uint64_t dropped =
+      aud.total_violations() - aud.violations().size();
+  if (dropped > 0) os << "  (+" << dropped << " more not recorded)\n";
+}
+
 void print_report(System& sys, std::ostream& os, const ReportOptions& opt) {
   os << "=== machine: " << sys.machine().spec().name << ", "
      << sys.machine().num_cpus() << " CPUs @ " << std::fixed
@@ -90,6 +104,10 @@ void print_report(System& sys, std::ostream& os, const ReportOptions& opt) {
   print_cpu_report(sys, os, opt);
   os << "\n";
   print_thread_report(sys, os, opt);
+  if (sys.auditor().enabled()) {
+    os << "\n";
+    print_audit_report(sys, os);
+  }
 }
 
 }  // namespace hrt::rt

@@ -27,7 +27,12 @@ void print_cpu_report(System& sys, std::ostream& os,
 void print_thread_report(System& sys, std::ostream& os,
                          const ReportOptions& opt = {});
 
-/// Both, plus machine-level counters (SMIs, events).
+/// Invariant-audit summary: checks run, violations (with details), one line
+/// per recorded violation.  Prints nothing when audits are disabled.
+void print_audit_report(System& sys, std::ostream& os);
+
+/// Both, plus machine-level counters (SMIs, events) and — when audits are
+/// enabled — the audit summary.
 void print_report(System& sys, std::ostream& os,
                   const ReportOptions& opt = {});
 

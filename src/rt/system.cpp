@@ -8,8 +8,10 @@ System::System(Options options) : options_(std::move(options)) {
   hw::MachineSpec spec = options_.spec;
   if (!options_.smi_enabled) spec.smi.enabled = false;
   machine_ = std::make_unique<hw::Machine>(spec, options_.seed);
+  auditor_ = std::make_unique<audit::Auditor>(options_.audit);
 
   nk::Kernel::Options ko;
+  ko.auditor = auditor_.get();
   ko.scheduler_factory = rt::make_scheduler_factory(options_.sched);
   ko.work_stealing = options_.work_stealing;
   ko.interrupt_laden_cpus = options_.interrupt_laden_cpus;

@@ -16,6 +16,7 @@
 #include <memory>
 #include <string>
 
+#include "audit/auditor.hpp"
 #include "group/group.hpp"
 #include "hw/machine.hpp"
 #include "nautilus/kernel.hpp"
@@ -34,6 +35,9 @@ class System {
     bool tpr_steering = true;
     bool calibrate_tsc = true;
     bool smi_enabled = true;  // overrides spec.smi.enabled when false
+    /// Scheduler invariant audits (audit/auditor.hpp).  Off by default;
+    /// HRT_FORCE_AUDIT builds force them on and throwing regardless.
+    audit::Config audit{};
   };
 
   System();  // Xeon Phi spec, default scheduler config
@@ -50,6 +54,7 @@ class System {
   [[nodiscard]] sim::Engine& engine() { return machine_->engine(); }
   [[nodiscard]] grp::GroupRegistry& groups() { return *groups_; }
   [[nodiscard]] const Options& options() const { return options_; }
+  [[nodiscard]] audit::Auditor& auditor() { return *auditor_; }
 
   /// The concrete hard real-time scheduler on `cpu`.
   [[nodiscard]] rt::LocalScheduler& sched(std::uint32_t cpu) {
@@ -80,6 +85,7 @@ class System {
  private:
   Options options_;
   std::unique_ptr<hw::Machine> machine_;
+  std::unique_ptr<audit::Auditor> auditor_;  // before kernel_: schedulers use it
   std::unique_ptr<nk::Kernel> kernel_;
   std::unique_ptr<grp::GroupRegistry> groups_;
 };

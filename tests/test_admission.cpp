@@ -196,5 +196,54 @@ TEST(SimAdmission, AgreesWithEdfUtilizationTest) {
   }
 }
 
+// ---------- Boundary / edge cases ----------
+
+TEST(RmRta, SliceInflationToExactlyThePeriodIsAdmissible) {
+  // available = 0.4 inflates the 40 us demand to exactly the 100 us period:
+  // response time equals the deadline, which RTA must still admit.
+  auto s = set_of({{micros(100), micros(40)}});
+  EXPECT_TRUE(rm_rta_admissible(s, 0.4));
+  EXPECT_FALSE(rm_rta_admissible(s, 0.39));
+}
+
+TEST(RmRta, PartialAvailabilityWithInterference) {
+  // Inflated demands: C = (40, 80) at 0.5 — the low-priority response time
+  // converges at 160 <= 200.  At 0.35 the demand no longer fits.
+  auto s = set_of({{micros(100), micros(20)}, {micros(200), micros(40)}});
+  EXPECT_TRUE(rm_rta_admissible(s, 0.5));
+  EXPECT_FALSE(rm_rta_admissible(s, 0.35));
+}
+
+TEST(SimAdmission, NonZeroPhasesNearTheHorizonStillSimulate) {
+  // First arrivals land just before the horizon guard would trip: the
+  // simulated window is max_phase + 2 * hyperperiod, not just a hyperperiod
+  // from zero, so late phases must not starve the check.
+  std::vector<PeriodicTask> s = {{micros(100), micros(60), micros(900)},
+                                 {micros(200), micros(80), micros(870)}};
+  SimAdmissionConfig cfg;
+  cfg.max_horizon = sim::millis(1);
+  auto r = simulate_edf_admission(s, cfg);
+  EXPECT_FALSE(r.horizon_exceeded);
+  EXPECT_EQ(r.hyperperiod, micros(200));
+  EXPECT_TRUE(r.admissible);  // U = 1.0 exactly; EDF optimality
+}
+
+TEST(SimAdmission, NonZeroPhasesDoNotMaskOverload) {
+  std::vector<PeriodicTask> s = {{micros(100), micros(90), micros(900)},
+                                 {micros(200), micros(80), micros(870)}};
+  SimAdmissionConfig cfg;
+  auto r = simulate_edf_admission(s, cfg);
+  EXPECT_FALSE(r.admissible);  // U = 1.3
+  EXPECT_GT(r.missed_deadlines, 0u);
+}
+
+TEST(Edf, BoundaryUtilizationAgainstPartialAvailability) {
+  // Exactly at the available fraction is admissible; one part in 10^4
+  // over is not (the epsilon guard is far smaller than that).
+  EXPECT_TRUE(edf_admissible(set_of({{micros(100), micros(79)}}), 0.79));
+  EXPECT_FALSE(
+      edf_admissible(set_of({{micros(10000), micros(7901)}}), 0.79));
+}
+
 }  // namespace
 }  // namespace hrt::rt
