@@ -4,9 +4,12 @@
 #   bench/run_perf.sh [--full] [build-dir]
 #
 # Produces in the current directory:
-#   BENCH_engine.json   — micro_engine: timer-wheel vs legacy engine
-#                         (events/sec, p50/p99 schedule/cancel latency)
-#   BENCH_figures.json  — wall time + shape-check results per figure binary
+#   BENCH_engine.json    — micro_engine: timer-wheel vs legacy engine
+#                          (events/sec, p50/p99 schedule/cancel latency)
+#   BENCH_placement.json — ablate_placement: pure partitioning policies vs
+#                          semi-partitioned overflow (admitted utilization,
+#                          zero-miss executions, replay-oracle verdict)
+#   BENCH_figures.json   — wall time + shape-check results per figure binary
 #
 # The committed PR-over-PR snapshots live in bench/snapshots/; refresh them
 # with:  bench/run_perf.sh && cp BENCH_*.json bench/snapshots/
@@ -33,6 +36,9 @@ now_ns() { date +%s%N; }
 
 echo "== micro_engine -> BENCH_engine.json"
 "$BIN/micro_engine" $MODE_FLAG --json=BENCH_engine.json
+
+echo "== ablate_placement -> BENCH_placement.json"
+"$BIN/ablate_placement" $MODE_FLAG --json=BENCH_placement.json
 
 FIGURES="fig03_tsc_sync fig04_scope_trace fig05_overheads fig06_missrate_phi \
 fig07_missrate_r415 fig08_misstime_phi fig09_misstime_r415 \
@@ -63,4 +69,4 @@ echo "== figure sweep -> BENCH_figures.json ($MODE mode)"
   printf ']}\n'
 } > BENCH_figures.json
 
-echo "wrote BENCH_engine.json BENCH_figures.json"
+echo "wrote BENCH_engine.json BENCH_placement.json BENCH_figures.json"

@@ -25,6 +25,12 @@
 //   * group: barrier arrivals/departures never exceed the expected count.
 //   * replay: divergence found by the offline EDF replay oracle
 //     (audit/replay.hpp) against a recorded trace.
+//   * placement-ledger: the global placement subsystem's per-CPU utilization
+//     ledger (global/ledger.hpp) equals the owning scheduler's own
+//     admitted_periodic + sporadic ledgers.
+//   * migration: every thread queued on a scheduler is owned by that CPU
+//     (t->cpu agrees), and job-boundary migration hand-offs never fail
+//     despite holding a reservation on the target.
 //
 // Compile with -DHRT_FORCE_AUDIT=1 (CMake option HRT_FORCE_AUDIT) to force
 // every Auditor into enabled+throwing mode regardless of runtime config;
@@ -49,6 +55,8 @@ enum class Invariant : std::uint8_t {
   kTimerArm,
   kGroup,
   kReplay,
+  kPlacementLedger,
+  kMigration,
 };
 
 [[nodiscard]] const char* invariant_name(Invariant inv);
@@ -82,6 +90,8 @@ struct Config {
   bool check_edf_order = true;
   bool check_timer = true;
   bool check_group = true;
+  bool check_placement_ledger = true;
+  bool check_migration = true;
   /// Violations recorded verbatim; beyond this only the counter grows.
   std::size_t max_recorded = 64;
   /// Extra tolerance for the budget-conservation check, on top of the
@@ -122,7 +132,7 @@ class Auditor {
   std::vector<Violation> violations_;
   std::uint64_t total_violations_ = 0;
   std::uint64_t checks_run_ = 0;
-  std::uint64_t per_invariant_[7] = {};
+  std::uint64_t per_invariant_[9] = {};
 };
 
 }  // namespace hrt::audit

@@ -1,0 +1,27 @@
+#include "global/ledger.hpp"
+
+namespace hrt::global {
+
+UtilizationLedger::UtilizationLedger(std::uint32_t num_cpus, double capacity)
+    : committed_(num_cpus, 0.0), capacity_(num_cpus, capacity) {}
+
+void UtilizationLedger::on_admit(std::uint32_t cpu, double util) {
+  committed_[cpu] += util;
+  ++admits_;
+}
+
+void UtilizationLedger::on_release(std::uint32_t cpu, double util) {
+  // Clamp exactly like the schedulers' own ledgers do, so the audit
+  // cross-check stays drift-free.
+  committed_[cpu] -= util;
+  if (committed_[cpu] < 0) committed_[cpu] = 0;
+  ++releases_;
+}
+
+double UtilizationLedger::total_committed() const {
+  double total = 0.0;
+  for (double u : committed_) total += u;
+  return total;
+}
+
+}  // namespace hrt::global

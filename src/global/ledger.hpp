@@ -1,0 +1,55 @@
+// Per-CPU utilization ledger: the global placement subsystem's view of how
+// much real-time utilization each local scheduler has committed.
+//
+// The local schedulers feed the ledger deltas at their three utilization
+// mutation points (admission commit, detach/exit, sporadic tail release), so
+// it tracks the per-CPU admitted_periodic + sporadic ledgers exactly — the
+// kPlacementLedger audit invariant (docs/AUDIT.md) recomputes the
+// correspondence after every scheduling pass.  The placement engine and the
+// rebalancer read headroom from here instead of polling every scheduler.
+//
+// Reservations (two-phase group admission, migration holds) are deliberately
+// *not* in the ledger: they are transient and already protect admission on
+// the owning CPU; the ledger reflects only committed demand.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hrt::global {
+
+class UtilizationLedger {
+ public:
+  /// `capacity` is the per-CPU utilization available to RT admission
+  /// (utilization_limit minus the sporadic and aperiodic reservations).
+  UtilizationLedger(std::uint32_t num_cpus, double capacity);
+
+  void on_admit(std::uint32_t cpu, double util);
+  void on_release(std::uint32_t cpu, double util);
+
+  [[nodiscard]] std::uint32_t num_cpus() const {
+    return static_cast<std::uint32_t>(committed_.size());
+  }
+  [[nodiscard]] double committed(std::uint32_t cpu) const {
+    return committed_[cpu];
+  }
+  [[nodiscard]] double capacity(std::uint32_t cpu) const {
+    return capacity_[cpu];
+  }
+  [[nodiscard]] double headroom(std::uint32_t cpu) const {
+    return capacity_[cpu] - committed_[cpu];
+  }
+  void set_capacity(std::uint32_t cpu, double cap) { capacity_[cpu] = cap; }
+
+  [[nodiscard]] double total_committed() const;
+  [[nodiscard]] std::uint64_t admits() const { return admits_; }
+  [[nodiscard]] std::uint64_t releases() const { return releases_; }
+
+ private:
+  std::vector<double> committed_;
+  std::vector<double> capacity_;
+  std::uint64_t admits_ = 0;
+  std::uint64_t releases_ = 0;
+};
+
+}  // namespace hrt::global

@@ -1,0 +1,312 @@
+#include "global/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "global/ledger.hpp"
+
+namespace hrt::global {
+
+namespace {
+
+// Mirrors the admission test's tolerance so "fits by ledger" and "admitted
+// by the scheduler" agree on the boundary.
+constexpr double kEps = 1e-9;
+
+}  // namespace
+
+const char* policy_name(Policy p) {
+  switch (p) {
+    case Policy::kFirstFit: return "first-fit";
+    case Policy::kBestFit: return "best-fit";
+    case Policy::kWorstFit: return "worst-fit";
+    case Policy::kTopology: return "topology";
+  }
+  return "?";
+}
+
+bool PlacementEngine::fits(std::uint32_t cpu, double util) const {
+  return ledger_.headroom(cpu) + kEps >= util;
+}
+
+std::uint32_t PlacementEngine::choose_cpu(double util, bool realtime) const {
+  const std::uint32_t n = ledger_.num_cpus();
+  if (n == 0) return kInvalidCpu;
+
+  auto pick = [&](auto&& eligible, auto&& better) {
+    std::uint32_t best = kInvalidCpu;
+    for (std::uint32_t c = 0; c < n; ++c) {
+      if (!eligible(c) || !fits(c, util)) continue;
+      if (best == kInvalidCpu || better(c, best)) best = c;
+    }
+    return best;
+  };
+  auto any = [](std::uint32_t) { return true; };
+  auto lowest = [](std::uint32_t, std::uint32_t) { return false; };
+  auto least_loaded = [&](std::uint32_t a, std::uint32_t b) {
+    return ledger_.committed(a) < ledger_.committed(b);
+  };
+  auto most_loaded = [&](std::uint32_t a, std::uint32_t b) {
+    return ledger_.committed(a) > ledger_.committed(b);
+  };
+
+  switch (cfg_.policy) {
+    case Policy::kFirstFit:
+      return pick(any, lowest);
+    case Policy::kBestFit:
+      return pick(any, most_loaded);
+    case Policy::kWorstFit:
+      return pick(any, least_loaded);
+    case Policy::kTopology: {
+      if (!cfg_.steer_rt_interrupt_free ||
+          cfg_.interrupt_laden_cpus >= n) {
+        return pick(any, least_loaded);
+      }
+      const std::uint32_t laden = cfg_.interrupt_laden_cpus;
+      if (realtime) {
+        // RT work belongs in the interrupt-free partition (section 3.5);
+        // spill into the laden partition only when it must.
+        const std::uint32_t c =
+            pick([&](std::uint32_t x) { return x >= laden; }, least_loaded);
+        if (c != kInvalidCpu) return c;
+        return pick([&](std::uint32_t x) { return x < laden; }, least_loaded);
+      }
+      // Non-RT work goes the other way, keeping the quiet partition quiet.
+      const std::uint32_t c =
+          pick([&](std::uint32_t x) { return x < laden; }, least_loaded);
+      if (c != kInvalidCpu) return c;
+      return pick([&](std::uint32_t x) { return x >= laden; }, least_loaded);
+    }
+  }
+  return kInvalidCpu;
+}
+
+std::uint32_t PlacementEngine::fallback_cpu(bool realtime) const {
+  const std::uint32_t n = ledger_.num_cpus();
+  if (n == 0) return kInvalidCpu;
+  const bool steer = realtime && cfg_.policy == Policy::kTopology &&
+                     cfg_.steer_rt_interrupt_free &&
+                     cfg_.interrupt_laden_cpus < n;
+  std::uint32_t best = kInvalidCpu;
+  for (std::uint32_t c = steer ? cfg_.interrupt_laden_cpus : 0; c < n; ++c) {
+    if (best == kInvalidCpu ||
+        ledger_.committed(c) < ledger_.committed(best)) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::vector<std::uint32_t> PlacementEngine::rt_cpu_order(double util) const {
+  const std::uint32_t n = ledger_.num_cpus();
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  const bool steer = cfg_.policy == Policy::kTopology &&
+                     cfg_.steer_rt_interrupt_free &&
+                     cfg_.interrupt_laden_cpus < n;
+  const std::uint32_t laden = steer ? cfg_.interrupt_laden_cpus : 0;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     const bool fa = a >= laden, fb = b >= laden;
+                     if (fa != fb) return fa;  // interrupt-free first
+                     return ledger_.headroom(a) > ledger_.headroom(b);
+                   });
+  (void)util;
+  return order;
+}
+
+std::vector<std::uint32_t> PlacementEngine::choose_group(
+    std::uint32_t n, const rt::Constraints& c) const {
+  const double util = c.utilization();
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t cpu : rt_cpu_order(util)) {
+    if (!fits(cpu, util)) continue;
+    out.push_back(cpu);
+    if (out.size() == n) return out;
+  }
+  return {};  // not enough distinct CPUs with headroom
+}
+
+SplitPlan split_task(const rt::PeriodicTask& task,
+                     const std::vector<double>& headroom,
+                     sim::Nanos min_slice, std::uint32_t max_chunks) {
+  SplitPlan plan;
+  if (task.period <= 0 || task.slice <= 0 || min_slice <= 0 ||
+      max_chunks == 0) {
+    return plan;
+  }
+  std::vector<std::uint32_t> order(headroom.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return headroom[a] > headroom[b];
+                   });
+
+  sim::Nanos remaining = task.slice;
+  const double period = static_cast<double>(task.period);
+  for (std::uint32_t cpu : order) {
+    if (remaining == 0 || plan.chunks.size() == max_chunks) break;
+    // Floor to whole nanoseconds so chunk/period <= headroom exactly.
+    sim::Nanos chunk = static_cast<sim::Nanos>(
+        std::floor(std::max(0.0, headroom[cpu]) * period));
+    chunk = std::min(chunk, remaining);
+    // Never strand a tail smaller than the minimum admissible slice.
+    if (chunk < remaining && remaining - chunk < min_slice) {
+      chunk = remaining - min_slice;
+    }
+    if (chunk < min_slice) continue;  // this CPU can't hold a real chunk
+    SplitChunk sc;
+    sc.cpu = cpu;
+    const auto i = static_cast<sim::Nanos>(plan.chunks.size());
+    sc.constraints =
+        rt::Constraints::periodic(task.phase + i * task.period, task.period,
+                                  chunk);
+    plan.chunks.push_back(sc);
+    remaining -= chunk;
+  }
+  plan.ok = remaining == 0 && !plan.chunks.empty();
+  if (!plan.ok) plan.chunks.clear();
+  return plan;
+}
+
+namespace {
+
+double task_util(const rt::PeriodicTask& t) {
+  return t.period > 0
+             ? static_cast<double>(t.slice) / static_cast<double>(t.period)
+             : 0.0;
+}
+
+/// Indices of `tasks` in decreasing-utilization order (stable).
+std::vector<std::size_t> decreasing_order(
+    const std::vector<rt::PeriodicTask>& tasks) {
+  std::vector<std::size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return task_util(tasks[a]) > task_util(tasks[b]);
+                   });
+  return order;
+}
+
+}  // namespace
+
+PackResult pack_decreasing(const std::vector<rt::PeriodicTask>& tasks,
+                           std::uint32_t num_cpus, double capacity,
+                           Policy policy,
+                           std::uint32_t interrupt_laden_cpus) {
+  PackResult r;
+  r.assignment.assign(tasks.size(), kInvalidCpu);
+  r.per_cpu.assign(num_cpus, 0.0);
+  std::vector<std::vector<rt::PeriodicTask>> sets(num_cpus);
+
+  auto candidates = [&]() {
+    std::vector<std::uint32_t> order(num_cpus);
+    std::iota(order.begin(), order.end(), 0u);
+    switch (policy) {
+      case Policy::kFirstFit:
+        break;  // index order
+      case Policy::kBestFit:
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::uint32_t a, std::uint32_t b) {
+                           return r.per_cpu[a] > r.per_cpu[b];
+                         });
+        break;
+      case Policy::kWorstFit:
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::uint32_t a, std::uint32_t b) {
+                           return r.per_cpu[a] < r.per_cpu[b];
+                         });
+        break;
+      case Policy::kTopology:
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::uint32_t a, std::uint32_t b) {
+                           const bool fa = a >= interrupt_laden_cpus;
+                           const bool fb = b >= interrupt_laden_cpus;
+                           if (fa != fb) return fa;  // interrupt-free first
+                           return r.per_cpu[a] < r.per_cpu[b];
+                         });
+        break;
+    }
+    return order;
+  };
+
+  for (std::size_t i : decreasing_order(tasks)) {
+    for (std::uint32_t cpu : candidates()) {
+      sets[cpu].push_back(tasks[i]);
+      if (rt::edf_admissible(sets[cpu], capacity)) {
+        r.assignment[i] = cpu;
+        r.per_cpu[cpu] += task_util(tasks[i]);
+        r.admitted_util += task_util(tasks[i]);
+        ++r.placed;
+        break;
+      }
+      sets[cpu].pop_back();
+    }
+  }
+  return r;
+}
+
+SemiPartitionedResult pack_semi_partitioned(
+    const std::vector<rt::PeriodicTask>& tasks, std::uint32_t num_cpus,
+    double capacity, sim::Nanos min_slice, std::uint32_t max_chunks) {
+  SemiPartitionedResult r;
+  for (Policy p : {Policy::kFirstFit, Policy::kBestFit, Policy::kWorstFit}) {
+    PackResult pr = pack_decreasing(tasks, num_cpus, capacity, p);
+    if (pr.admitted_util > r.base.admitted_util ||
+        r.base.assignment.empty()) {
+      r.base = std::move(pr);
+      r.base_policy = p;
+    }
+  }
+  r.per_cpu = r.base.per_cpu;
+  r.admitted_util = r.base.admitted_util;
+  r.placed = r.base.placed;
+
+  // Rebuild the per-CPU sets the base packing committed, so split chunks
+  // are validated by the same admission test that will run at spawn time.
+  std::vector<std::vector<rt::PeriodicTask>> sets(num_cpus);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (r.base.assignment[i] != kInvalidCpu) {
+      sets[r.base.assignment[i]].push_back(tasks[i]);
+    }
+  }
+
+  for (std::size_t i : decreasing_order(tasks)) {
+    if (r.base.assignment[i] != kInvalidCpu) continue;
+    std::vector<double> headroom(num_cpus);
+    for (std::uint32_t c = 0; c < num_cpus; ++c) {
+      headroom[c] = capacity - r.per_cpu[c];
+    }
+    SplitPlan plan = split_task(tasks[i], headroom, min_slice, max_chunks);
+    if (!plan.ok) continue;
+    bool admitted = true;
+    std::size_t pushed = 0;
+    for (const SplitChunk& sc : plan.chunks) {
+      sets[sc.cpu].push_back(rt::PeriodicTask{sc.constraints.period,
+                                              sc.constraints.slice,
+                                              sc.constraints.phase});
+      ++pushed;
+      if (!rt::edf_admissible(sets[sc.cpu], capacity)) {
+        admitted = false;
+        break;
+      }
+    }
+    if (!admitted) {
+      for (std::size_t j = 0; j < pushed; ++j) {
+        sets[plan.chunks[j].cpu].pop_back();
+      }
+      continue;
+    }
+    for (const SplitChunk& sc : plan.chunks) {
+      r.per_cpu[sc.cpu] += sc.constraints.utilization();
+    }
+    r.admitted_util += task_util(tasks[i]);
+    ++r.placed;
+    r.splits.push_back({i, std::move(plan)});
+  }
+  return r;
+}
+
+}  // namespace hrt::global

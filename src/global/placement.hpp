@@ -1,0 +1,175 @@
+// Utilization-aware CPU placement (docs/GLOBAL.md).
+//
+// The placement engine sits between the public spawn API and the per-CPU
+// local schedulers.  It never admits anything itself: it only *chooses*
+// CPUs, using the utilization ledger as its view of commitments, and the
+// chosen CPU's own rt::Admission test remains the final authority.  That
+// keeps the safety argument local — a bad placement decision can only cost
+// throughput, never a deadline.
+//
+// Three layers:
+//   * PlacementEngine — online single-thread placement with pluggable
+//     policies (first-fit, best-fit, worst-fit, topology-aware), plus
+//     group co-placement.
+//   * pack_decreasing / pack_semi_partitioned — offline set packing used by
+//     the ablation bench and by spawn-time overflow splitting.  The
+//     semi-partitioned packer splits tasks that fit no single CPU into
+//     restricted-migration pipeline chunks (split_task) and by construction
+//     admits at least as much utilization as the best pure partitioning.
+//   * split_task — the pipeline-split math: chunk i runs on its own CPU
+//     with constraints periodic(phi + i*tau, tau, sigma_i), so within one
+//     logical job the chunks' windows are disjoint and ordered — chunk i's
+//     deadline is exactly chunk i+1's release — and no two chunks of the
+//     same job can ever run concurrently.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rt/admission.hpp"
+#include "rt/constraints.hpp"
+#include "sim/time.hpp"
+
+namespace hrt::global {
+
+class UtilizationLedger;
+
+inline constexpr std::uint32_t kInvalidCpu = 0xFFFFFFFFu;
+
+enum class Policy : std::uint8_t {
+  kFirstFit,   // lowest-numbered CPU with headroom
+  kBestFit,    // most-loaded CPU that still fits (minimum residual)
+  kWorstFit,   // least-loaded CPU (maximum residual; balances load)
+  kTopology,   // worst-fit, but steer RT work off interrupt-laden CPUs
+};
+
+[[nodiscard]] const char* policy_name(Policy p);
+
+struct Config {
+  Policy policy = Policy::kTopology;
+  /// Mirror of nk::Kernel::Options::interrupt_laden_cpus: CPUs [0, n) take
+  /// device interrupts (section 3.5's partition), so kTopology places RT
+  /// threads on CPUs >= n whenever they fit there.
+  std::uint32_t interrupt_laden_cpus = 1;
+  bool steer_rt_interrupt_free = true;
+  /// Overflow splitting: cap on pipeline chunks per task, and the smallest
+  /// slice a chunk may be given (mirrors LocalScheduler::Config::min_slice).
+  std::uint32_t max_split_chunks = 8;
+  sim::Nanos min_split_slice = sim::micros(10);
+  /// Rebalancer knobs (rebalancer.hpp).
+  double rebalance_threshold = 0.25;  // act when max-min committed gap >= this
+  std::uint32_t admit_retries = 3;    // auto-admit attempts before giving up
+  sim::Nanos rebalance_task_size = sim::micros(5);
+};
+
+/// Online placement decisions against the live ledger.
+class PlacementEngine {
+ public:
+  PlacementEngine(const UtilizationLedger& ledger, Config cfg)
+      : ledger_(ledger), cfg_(cfg) {}
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+  /// Pick a CPU for a thread demanding `util` of a CPU.  Real-time requests
+  /// under kTopology prefer the interrupt-free partition.  Returns
+  /// kInvalidCpu when no CPU has the headroom.
+  [[nodiscard]] std::uint32_t choose_cpu(double util, bool realtime) const;
+  [[nodiscard]] std::uint32_t choose_cpu(const rt::Constraints& c) const {
+    return choose_cpu(c.utilization(), c.is_realtime());
+  }
+
+  /// Placement of last resort when nothing fits: the least-committed CPU
+  /// (interrupt-free preferred for RT), so the inevitable admission
+  /// rejection lands where a rebalance is most likely to make room.
+  [[nodiscard]] std::uint32_t fallback_cpu(bool realtime) const;
+
+  /// Co-place `n` group members, each demanding `c`'s utilization: distinct
+  /// CPUs in headroom order (group collectives gain nothing from sharing a
+  /// CPU; distinct CPUs let all members run concurrently).  Empty result if
+  /// fewer than `n` CPUs fit.
+  [[nodiscard]] std::vector<std::uint32_t> choose_group(
+      std::uint32_t n, const rt::Constraints& c) const;
+
+  /// All CPUs ordered by how attractive they are for an RT thread of
+  /// `util`: interrupt-free first (when steering), then by descending
+  /// headroom.  Used by the rebalancer's make-room search.
+  [[nodiscard]] std::vector<std::uint32_t> rt_cpu_order(double util) const;
+
+ private:
+  [[nodiscard]] bool fits(std::uint32_t cpu, double util) const;
+
+  const UtilizationLedger& ledger_;
+  Config cfg_;
+};
+
+// --- offline set packing (bench + overflow planning) ---
+
+struct SplitChunk {
+  std::uint32_t cpu = kInvalidCpu;
+  rt::Constraints constraints;
+};
+
+struct SplitPlan {
+  bool ok = false;
+  std::vector<SplitChunk> chunks;
+};
+
+/// Split one periodic task across CPUs as a restricted-migration pipeline.
+/// `headroom[i]` is the spare utilization on CPU i.  Chunk i gets
+/// periodic(task.phase + i*task.period, task.period, sigma_i) with
+/// sigma_i <= headroom[cpu_i] * period, chunks ordered by decreasing
+/// headroom.  Fails (ok=false) when the task fits in no combination of
+/// max_chunks CPUs or a chunk would drop under min_slice.
+///
+/// The phase offsets make the same job's chunk windows disjoint: chunk i
+/// owns [arrival + i*tau, arrival + (i+1)*tau), so pieces never run
+/// concurrently and every piece still enjoys a plain implicit-deadline
+/// periodic reservation on its CPU.  The cost is end-to-end latency: the
+/// logical job completes k*tau after its release instead of tau
+/// (docs/GLOBAL.md discusses this relaxation).
+[[nodiscard]] SplitPlan split_task(const rt::PeriodicTask& task,
+                                   const std::vector<double>& headroom,
+                                   sim::Nanos min_slice,
+                                   std::uint32_t max_chunks);
+
+struct PackResult {
+  /// assignment[i] = CPU of tasks[i], or kInvalidCpu if not placed.
+  std::vector<std::uint32_t> assignment;
+  std::vector<double> per_cpu;  // committed utilization per CPU
+  double admitted_util = 0.0;
+  std::uint32_t placed = 0;
+};
+
+/// Decreasing-utilization bin packing of `tasks` onto `num_cpus` CPUs of
+/// `capacity` each, under `policy`'s candidate ordering.  Fit test is the
+/// real rt::edf_admissible over the tentative per-CPU set, so a reported
+/// packing is exactly what per-CPU admission would accept.
+[[nodiscard]] PackResult pack_decreasing(const std::vector<rt::PeriodicTask>& tasks,
+                                         std::uint32_t num_cpus,
+                                         double capacity, Policy policy,
+                                         std::uint32_t interrupt_laden_cpus = 0);
+
+struct SemiPartitionedResult {
+  PackResult base;          // best pure partitioning found
+  Policy base_policy = Policy::kWorstFit;
+  /// splits[j] = plan for the j-th task the base packing left unplaced
+  /// (index into the original task vector in .task_index).
+  struct Split {
+    std::size_t task_index = 0;
+    SplitPlan plan;
+  };
+  std::vector<Split> splits;
+  std::vector<double> per_cpu;
+  double admitted_util = 0.0;
+  std::uint32_t placed = 0;  // tasks placed whole or split
+};
+
+/// Best of FFD/BFD/WFD, then pipeline-split the leftovers into remaining
+/// headroom (each chunk re-validated with rt::edf_admissible before
+/// committing).  admitted_util >= every pure policy's by construction.
+[[nodiscard]] SemiPartitionedResult pack_semi_partitioned(
+    const std::vector<rt::PeriodicTask>& tasks, std::uint32_t num_cpus,
+    double capacity, sim::Nanos min_slice, std::uint32_t max_chunks);
+
+}  // namespace hrt::global

@@ -1,0 +1,152 @@
+#include "global/rebalancer.hpp"
+
+#include <cmath>
+
+#include "global/ledger.hpp"
+#include "group/group.hpp"
+#include "nautilus/kernel.hpp"
+#include "nautilus/thread.hpp"
+#include "rt/local_scheduler.hpp"
+
+namespace hrt::global {
+
+namespace {
+
+rt::LocalScheduler* local_sched(nk::Kernel& kernel, std::uint32_t cpu) {
+  return dynamic_cast<rt::LocalScheduler*>(&kernel.scheduler(cpu));
+}
+
+}  // namespace
+
+bool Rebalancer::movable(const nk::Thread* t) const {
+  if (t == nullptr || t->is_idle) return false;
+  if (t->state == nk::Thread::State::kExited ||
+      t->state == nk::Thread::State::kPooled) {
+    return false;
+  }
+  if (t->migrate_to != nk::kNoMigrateTarget) return false;
+  if (groups_ != nullptr && groups_->group_of(t) != nullptr) return false;
+  return true;
+}
+
+bool Rebalancer::rebalance_once() {
+  if (kernel_ == nullptr) return false;
+  const std::uint32_t n = ledger_.num_cpus();
+  if (n < 2) return false;
+
+  std::uint32_t hi = 0;
+  for (std::uint32_t c = 1; c < n; ++c) {
+    if (ledger_.committed(c) > ledger_.committed(hi)) hi = c;
+  }
+  // The destination is picked the same way placement is: interrupt-free
+  // partition first when steering is on.
+  std::uint32_t lo = kInvalidCpu;
+  for (std::uint32_t c : engine_.rt_cpu_order(0.0)) {
+    if (c == hi) continue;
+    if (lo == kInvalidCpu || ledger_.committed(c) < ledger_.committed(lo)) {
+      lo = c;
+    }
+  }
+  if (lo == kInvalidCpu) return false;
+  const double gap = ledger_.committed(hi) - ledger_.committed(lo);
+  if (gap < cfg_.rebalance_threshold) return false;
+
+  // Largest movable periodic thread on `hi` that both fits in the gap
+  // (moving it must not just flip the imbalance) and fits in `lo`'s
+  // headroom.
+  nk::Thread* victim = nullptr;
+  double victim_util = 0.0;
+  for (nk::Thread* t : kernel_->live_threads()) {
+    if (t->cpu != hi || !movable(t)) continue;
+    if (t->constraints.cls != rt::ConstraintClass::kPeriodic) continue;
+    const double u = t->constraints.utilization();
+    if (u >= gap || u > ledger_.headroom(lo)) continue;
+    if (victim == nullptr || u > victim_util) {
+      victim = t;
+      victim_util = u;
+    }
+  }
+  if (victim == nullptr) return false;
+
+  rt::LocalScheduler* src = local_sched(*kernel_, hi);
+  if (src == nullptr || !src->request_migration(*victim, lo)) return false;
+  ++stats_.migrations_proposed;
+  return true;
+}
+
+void Rebalancer::schedule_rebalance(std::uint32_t cpu) {
+  if (kernel_ == nullptr) return;
+  kernel_->submit_task(
+      cpu, nk::Task{[this]() { rebalance_once(); }, cfg_.rebalance_task_size});
+}
+
+void Rebalancer::on_thread_exit(std::uint32_t cpu) {
+  // Deferred: the exiting thread still holds its utilization until the
+  // scheduler's exit handling finishes, so re-level in a later pass.
+  ++stats_.exit_rebalances;
+  schedule_rebalance(cpu);
+}
+
+std::uint32_t Rebalancer::make_room(const rt::Constraints& c,
+                                    const nk::Thread* for_thread) {
+  ++stats_.make_room_calls;
+  if (kernel_ == nullptr) return kInvalidCpu;
+  const double util = c.utilization();
+  const auto live = kernel_->live_threads();
+
+  for (std::uint32_t x : engine_.rt_cpu_order(util)) {
+    const double deficit = util - ledger_.headroom(x);
+    if (deficit <= 0) return x;  // already fits; caller just retries here
+
+    // Smallest movable periodic thread on x whose departure covers the
+    // deficit, paired with the roomiest destination that can absorb it.
+    nk::Thread* victim = nullptr;
+    double victim_util = 0.0;
+    for (nk::Thread* t : live) {
+      if (t == for_thread || t->cpu != x || !movable(t)) continue;
+      if (t->constraints.cls != rt::ConstraintClass::kPeriodic) continue;
+      const double u = t->constraints.utilization();
+      if (u + 1e-12 < deficit) continue;
+      if (victim == nullptr || u < victim_util) {
+        victim = t;
+        victim_util = u;
+      }
+    }
+    if (victim == nullptr) continue;
+    std::uint32_t dest = kInvalidCpu;
+    for (std::uint32_t y = 0; y < ledger_.num_cpus(); ++y) {
+      if (y == x) continue;
+      if (ledger_.headroom(y) + 1e-12 < victim_util) continue;
+      if (dest == kInvalidCpu ||
+          ledger_.headroom(y) > ledger_.headroom(dest)) {
+        dest = y;
+      }
+    }
+    if (dest == kInvalidCpu) continue;
+    rt::LocalScheduler* src = local_sched(*kernel_, x);
+    if (src == nullptr || !src->request_migration(*victim, dest)) continue;
+    ++stats_.make_room_migrations;
+    ++stats_.migrations_proposed;
+    return x;
+  }
+  return kInvalidCpu;
+}
+
+void Rebalancer::relocate_when_parked(nk::Thread* t, std::uint32_t to) {
+  if (kernel_ == nullptr || t == nullptr) return;
+  const nk::Thread::Id id = t->id;
+  nk::Kernel* kernel = kernel_;
+  // Deferred sized task on the thread's own CPU: by the time the task runs
+  // the thread has been descheduled (tasks run inside a scheduler pass), so
+  // the parked-only migrate_aperiodic can succeed.  The id re-check guards
+  // against the thread exiting and its object being recycled meanwhile.
+  kernel_->submit_task(t->cpu, nk::Task{[this, kernel, t, id, to]() {
+                                          if (t->id != id) return;
+                                          if (kernel->migrate_aperiodic(t, to)) {
+                                            ++stats_.relocations;
+                                          }
+                                        },
+                                        cfg_.rebalance_task_size});
+}
+
+}  // namespace hrt::global

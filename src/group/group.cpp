@@ -150,6 +150,15 @@ ThreadGroup* GroupRegistry::find(const std::string& name) const {
   return nullptr;
 }
 
+ThreadGroup* GroupRegistry::group_of(const nk::Thread* t) const {
+  for (const auto& g : groups_) {
+    for (nk::Thread* m : g->members()) {
+      if (m == t) return g.get();
+    }
+  }
+  return nullptr;
+}
+
 bool GroupRegistry::destroy(const std::string& name) {
   for (auto it = groups_.begin(); it != groups_.end(); ++it) {
     if ((*it)->name() == name) {

@@ -154,6 +154,9 @@ class GroupRegistry {
 
   ThreadGroup* create(const std::string& name, std::uint32_t expected);
   [[nodiscard]] ThreadGroup* find(const std::string& name) const;
+  /// The group `t` is a member of, or null.  Group members are pinned by
+  /// their collectives, so the rebalancer treats them as immovable.
+  [[nodiscard]] ThreadGroup* group_of(const nk::Thread* t) const;
   bool destroy(const std::string& name);
   [[nodiscard]] std::size_t count() const { return groups_.size(); }
 

@@ -186,7 +186,11 @@ void Kernel::reap(Thread* t) {
 
 void Kernel::submit_task(std::uint32_t cpu, Task task) {
   schedulers_[cpu]->submit_task(std::move(task));
-  machine_.cpu(cpu).raise(hw::kKickVector);
+  // Kick as a real IPI (engine-deferred), never a synchronous raise: a
+  // thread may submit a task to its *own* CPU (the rebalancer does), and a
+  // same-CPU raise with interrupts enabled would re-enter the executor in
+  // the middle of the submitting thread's action.
+  machine_.send_ipi(cpu, cpu, hw::kKickVector);
 }
 
 void Kernel::register_device_handler(hw::Vector v, sim::Cycles cost,
@@ -242,6 +246,27 @@ Thread* Kernel::steal_for(std::uint32_t thief) {
   t->cpu = thief;
   schedulers_[thief]->enqueue(t);
   return t;
+}
+
+bool Kernel::migrate_aperiodic(Thread* t, std::uint32_t to) {
+  if (t == nullptr || to >= num_cpus() || t->cpu == to) return false;
+  if (t->is_realtime() || t->is_idle) return false;
+  if (executors_[t->cpu]->current() == t) return false;
+  const bool sleeping = t->state == Thread::State::kSleeping;
+  if (!sleeping && t->state != Thread::State::kReady) return false;
+  if (!schedulers_[t->cpu]->detach_for_migration(*t)) return false;
+  t->cpu = to;
+  place_thread_state(t);  // stack/TCB follow the thread into the new zone
+  if (sleeping) {
+    // Still sleeping, just on the destination's sleep queue now; the
+    // destination timer must cover the wake, hence the kick below.
+    schedulers_[to]->on_sleep(*t, t->wake_time);
+  } else {
+    schedulers_[to]->enqueue(t);
+  }
+  ++aperiodic_migrations_;
+  machine_.send_ipi(t->cpu, to, hw::kKickVector);
+  return true;
 }
 
 std::vector<Thread*> Kernel::live_threads() const {

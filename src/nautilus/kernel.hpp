@@ -30,6 +30,10 @@ namespace hrt::audit {
 class Auditor;
 }
 
+namespace hrt::global {
+class UtilizationLedger;
+}
+
 namespace hrt::nk {
 
 class Kernel {
@@ -55,6 +59,10 @@ class Kernel {
     /// Invariant auditor shared by all schedulers and group collectives
     /// (owned by the caller, typically rt::System); null disables audits.
     audit::Auditor* auditor = nullptr;
+    /// Per-CPU utilization ledger for the global placement subsystem
+    /// (global/ledger.hpp), fed by the local schedulers' admission and
+    /// detach events; owned by the caller, null disables the feed.
+    global::UtilizationLedger* placement_ledger = nullptr;
   };
 
   /// Per-CPU GPIO instrumentation for the external-scope experiment
@@ -149,6 +157,18 @@ class Kernel {
   Thread* steal_for(std::uint32_t thief);
   [[nodiscard]] std::uint64_t steals() const { return steals_; }
 
+  /// Deliberately re-home a non-realtime thread onto `to` (global placement
+  /// and rebalancing, src/global/).  Unlike opportunistic stealing, this
+  /// moves a named thread — bound or not — and re-places its stack/TCB into
+  /// the destination zone's arena.  The thread must be parked (ready in a
+  /// run queue, or sleeping); a running or real-time thread is refused
+  /// (false).  RT threads migrate only at job boundaries, through
+  /// rt::LocalScheduler::request_migration.
+  bool migrate_aperiodic(Thread* t, std::uint32_t to);
+  [[nodiscard]] std::uint64_t aperiodic_migrations() const {
+    return aperiodic_migrations_;
+  }
+
   /// Scope instrumentation.
   void set_scope(ScopeConfig cfg) { scope_ = cfg; }
   [[nodiscard]] const ScopeConfig& scope() const { return scope_; }
@@ -198,6 +218,7 @@ class Kernel {
 
   timesync::CalibrationResult calibration_;
   std::uint64_t steals_ = 0;
+  std::uint64_t aperiodic_migrations_ = 0;
   ScopeConfig scope_;
 };
 

@@ -91,6 +91,14 @@ class SchedulerBase {
   [[nodiscard]] virtual std::size_t stealable_count() const = 0;
   virtual Thread* try_steal() = 0;
 
+  /// Detach a named non-realtime thread from this scheduler's run or sleep
+  /// queue so the kernel can re-home it (deliberate migration, src/global/ —
+  /// unlike try_steal the caller picks the thread, and bound threads are
+  /// eligible because the placement layer owns the binding decision).
+  /// Returns false when the thread is not detachable here.  Default:
+  /// migration unsupported.
+  virtual bool detach_for_migration(Thread& /*t*/) { return false; }
+
   /// Introspection for tests and admission bookkeeping.
   [[nodiscard]] virtual std::size_t thread_count() const = 0;
   [[nodiscard]] virtual double admitted_utilization() const = 0;

@@ -21,6 +21,9 @@ namespace hrt::nk {
 
 class Behavior;
 
+/// Sentinel for Thread::migrate_to: no migration pending.
+inline constexpr std::uint32_t kNoMigrateTarget = 0xFFFFFFFFu;
+
 class Thread {
  public:
   using Id = std::uint32_t;
@@ -53,6 +56,10 @@ class Thread {
   Id id = 0;
   std::string name;
   std::uint32_t cpu = 0;     // owning local scheduler
+  /// Pending job-boundary migration target (global placement, src/global/):
+  /// the source scheduler holds a reservation there and hands the thread off
+  /// at its next arrival close.
+  std::uint32_t migrate_to = kNoMigrateTarget;
   bool bound = false;        // bound threads are never stolen
   bool is_idle = false;      // the per-CPU idle thread
   State state = State::kReady;
@@ -89,6 +96,7 @@ class Thread {
   void recycle(Id new_id, std::string new_name) {
     id = new_id;
     name = std::move(new_name);
+    migrate_to = kNoMigrateTarget;
     state = State::kReady;
     constraints = rt::Constraints::aperiodic();
     behavior = nullptr;

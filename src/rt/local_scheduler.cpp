@@ -6,6 +6,7 @@
 #include <string>
 
 #include "audit/auditor.hpp"
+#include "global/ledger.hpp"
 #include "nautilus/executor.hpp"
 #include "nautilus/kernel.hpp"
 
@@ -28,6 +29,7 @@ LocalScheduler::LocalScheduler(nk::Kernel& kernel, std::uint32_t cpu,
       cfg_(cfg),
       slop_(kernel.machine().spec().timer.apic_tick_ns + 1),
       auditor_(kernel.auditor()),
+      ledger_(kernel.options().placement_ledger),
       pending_(cfg.max_threads),
       rt_run_(cfg.max_threads),
       nonrt_(cfg.max_threads),
@@ -87,6 +89,7 @@ void LocalScheduler::close_arrival(nk::Thread* t, sim::Nanos now) {
   } else {
     // Sporadic threads continue as aperiodic with their tail priority
     // (section 3.1).  The caller keeps the thread current; it is not queued.
+    ledger_release(t->rt.density);
     sporadic_util_ -= t->rt.density;
     if (sporadic_util_ < 0) sporadic_util_ = 0;
     t->rt.density = 0.0;
@@ -222,6 +225,14 @@ nk::PassResult LocalScheduler::pass(nk::PassReason reason, sim::Nanos now) {
   if (cur != nullptr && cur->is_realtime() && cur->rt.arrival_open &&
       cur->state == nk::Thread::State::kRunning && cur->rt.budget_left <= 0) {
     close_arrival(cur, now);
+  }
+  // A pending job-boundary migration fires the moment the current thread is
+  // parked between arrivals (restricted migration: a job never splits across
+  // CPUs).  Parked non-current threads were already handed off at request
+  // time.
+  if (cur != nullptr && cur->migrate_to != nk::kNoMigrateTarget &&
+      cur->rt.in_pending && !cur->rt.arrival_open) {
+    complete_migration(*cur, now);
   }
 
   nk::Thread* next = select_next(now, reason);
@@ -421,14 +432,24 @@ void LocalScheduler::detach_bookkeeping(nk::Thread* t) {
   if (t->constraints.cls == ConstraintClass::kPeriodic) {
     auto it = std::find(periodic_set_.begin(), periodic_set_.end(), t);
     if (it != periodic_set_.end()) {
+      ledger_release(t->constraints.utilization());
       admitted_periodic_util_ -= t->constraints.utilization();
       if (admitted_periodic_util_ < 0) admitted_periodic_util_ = 0;
       periodic_set_.erase(it);
     }
   }
   if (t->constraints.cls == ConstraintClass::kSporadic && t->rt.density > 0) {
+    ledger_release(t->rt.density);
     sporadic_util_ -= t->rt.density;
     if (sporadic_util_ < 0) sporadic_util_ = 0;
+  }
+  // A detach (exit, or a fresh change_constraints) abandons any in-flight
+  // migration; release the utilization held on the target.
+  if (t->migrate_to != nk::kNoMigrateTarget) {
+    auto* target =
+        dynamic_cast<LocalScheduler*>(&kernel_.scheduler(t->migrate_to));
+    if (target != nullptr) target->cancel_reservation(*t);
+    t->migrate_to = nk::kNoMigrateTarget;
   }
   t->rt.in_pending = false;
 }
@@ -470,6 +491,7 @@ bool LocalScheduler::change_constraints(nk::Thread& t, const Constraints& c,
     }
     case ConstraintClass::kPeriodic: {
       if (was_sleeping) t.state = nk::Thread::State::kReady;
+      ledger_admit(c.utilization());
       admitted_periodic_util_ += c.utilization();
       periodic_set_.push_back(&t);
       t.rt.arrival = gamma + c.phase;
@@ -482,6 +504,7 @@ bool LocalScheduler::change_constraints(nk::Thread& t, const Constraints& c,
     case ConstraintClass::kSporadic: {
       if (was_sleeping) t.state = nk::Thread::State::kReady;
       t.rt.density = c.utilization();
+      ledger_admit(t.rt.density);
       sporadic_util_ += t.rt.density;
       t.rt.arrival = gamma + c.phase;
       t.rt.deadline = gamma + c.deadline_offset;
@@ -574,6 +597,100 @@ nk::Thread* LocalScheduler::try_steal() {
       .value_or(nullptr);
 }
 
+bool LocalScheduler::detach_for_migration(nk::Thread& t) {
+  // RT threads migrate only through the job-boundary protocol below.
+  if (t.is_realtime() || t.is_idle) return false;
+  return nonrt_.remove(&t) || sleepers_.remove(&t);
+}
+
+// --- job-boundary RT migration (docs/GLOBAL.md) ---------------------------
+
+void LocalScheduler::ledger_admit(double util) {
+  if (ledger_ != nullptr) ledger_->on_admit(cpu_, util);
+}
+
+void LocalScheduler::ledger_release(double util) {
+  if (ledger_ == nullptr || cfg_.test_faults.drop_ledger_release) return;
+  ledger_->on_release(cpu_, util);
+}
+
+bool LocalScheduler::request_migration(nk::Thread& t, std::uint32_t to) {
+  if (to >= kernel_.num_cpus() || to == cpu_ || t.cpu != cpu_) return false;
+  if (t.constraints.cls != ConstraintClass::kPeriodic) return false;
+  if (t.state == nk::Thread::State::kExited ||
+      t.state == nk::Thread::State::kPooled) {
+    return false;
+  }
+  if (t.migrate_to != nk::kNoMigrateTarget) return false;  // already in flight
+  auto* target = dynamic_cast<LocalScheduler*>(&kernel_.scheduler(to));
+  if (target == nullptr) return false;
+  // Hold the utilization on the target now, so the space is still there when
+  // the job boundary arrives.
+  if (!target->reserve_constraints(t, t.constraints)) return false;
+  t.migrate_to = to;
+  ++stats_.migrations_requested;
+  // Parked between arrivals and not current: hand off immediately.  In every
+  // other case pass() completes the migration at the next arrival close.
+  nk::Thread* cur = exec_ != nullptr ? exec_->current() : nullptr;
+  if (&t != cur && t.rt.in_pending && !t.rt.arrival_open) {
+    complete_migration(t, kernel_.machine().cpu(cpu_).tsc().wall_ns());
+  }
+  return true;
+}
+
+void LocalScheduler::complete_migration(nk::Thread& t, sim::Nanos now) {
+  const std::uint32_t to = t.migrate_to;
+  t.migrate_to = nk::kNoMigrateTarget;  // before detach: keep the reservation
+  auto* target = dynamic_cast<LocalScheduler*>(&kernel_.scheduler(to));
+  if (target == nullptr) return;
+  // Re-admission on the target starts a fresh RtState; carry the lifetime
+  // statistics over so the migration is invisible in arrival/miss counters,
+  // and rebase the phase so the next arrival lands exactly on schedule.
+  const nk::Thread::RtState saved = t.rt;
+  Constraints c = t.constraints;
+  c.phase = saved.arrival > now ? saved.arrival - now : 0;
+  detach_bookkeeping(&t);
+  if (t.state == nk::Thread::State::kRunning) {
+    // The executor's switch-away would flip this after the pass; the target
+    // may audit its queues before then, so settle the state here.
+    t.state = nk::Thread::State::kReady;
+  }
+  if (!cfg_.test_faults.stale_migrate_cpu) t.cpu = to;
+  bool ok = target->change_constraints(t, c, now);
+  if (ok) {
+    ++stats_.migrations_out;
+    ++target->stats_.migrations_in;
+    kernel_.machine().send_ipi(cpu_, to, hw::kKickVector);
+  } else {
+    // The reservation held the target utilization, so this should never
+    // happen; put the thread back here (its utilization was just released,
+    // so local re-admission passes), or demote it rather than lose it.
+    ++stats_.migration_failures;
+    t.cpu = cpu_;
+    ok = change_constraints(t, c, now);
+    if (auditor_ != nullptr && auditor_->enabled() &&
+        auditor_->config().check_migration) {
+      auditor_->record(audit::Invariant::kMigration, cpu_, now,
+                       "thread " + std::to_string(t.id) + " hand-off to cpu " +
+                           std::to_string(to) +
+                           " failed despite a reservation" +
+                           (ok ? " (re-admitted locally)"
+                               : " (demoted to aperiodic)"));
+    }
+    if (!ok) {
+      t.constraints = Constraints::aperiodic(t.constraints.priority);
+      t.rt = nk::Thread::RtState{};
+      nk::Thread* cur = exec_ != nullptr ? exec_->current() : nullptr;
+      if (&t != cur) enqueue(&t);
+    }
+  }
+  t.rt.arrivals += saved.arrivals;
+  t.rt.completions += saved.completions;
+  t.rt.misses += saved.misses;
+  t.rt.miss_ns = saved.miss_ns;
+  t.rt.switch_latency = saved.switch_latency;
+}
+
 std::size_t LocalScheduler::thread_count() const {
   std::size_t n =
       pending_.size() + rt_run_.size() + nonrt_.size() + sleepers_.size();
@@ -615,7 +732,19 @@ void LocalScheduler::audit_queues(sim::Nanos now) {
   auto who = [](const nk::Thread* t) {
     return "thread " + std::to_string(t->id) + " (" + t->name + ")";
   };
+  // Migration invariant: everything queued here is owned by this CPU.  A
+  // mismatch means a hand-off (steal, migrate) queued a thread without
+  // re-homing it.
+  const bool check_owner = auditor_->config().check_migration;
+  auto owned = [&](const nk::Thread* t) {
+    if (check_owner && t->cpu != cpu_) {
+      auditor_->record(audit::Invariant::kMigration, cpu_, now,
+                       who(t) + " queued on cpu " + std::to_string(cpu_) +
+                           " but owned by cpu " + std::to_string(t->cpu));
+    }
+  };
   pending_.for_each([&](const nk::Thread* t) {
+    owned(t);
     if (t == cur) bad(who(t) + " is current but queued in pending_");
     if (!t->rt.in_pending) bad(who(t) + " in pending_ without in_pending set");
     if (!t->is_realtime()) bad(who(t) + " in pending_ but not real-time");
@@ -624,6 +753,7 @@ void LocalScheduler::audit_queues(sim::Nanos now) {
     }
   });
   rt_run_.for_each([&](const nk::Thread* t) {
+    owned(t);
     if (t == cur) bad(who(t) + " is current but queued in rt_run_");
     if (!t->is_realtime() || !t->rt.arrival_open) {
       bad(who(t) + " in rt_run_ without an open RT arrival");
@@ -634,6 +764,7 @@ void LocalScheduler::audit_queues(sim::Nanos now) {
     }
   });
   nonrt_.for_each([&](const nk::Thread* t) {
+    owned(t);
     if (t == cur) bad(who(t) + " is current but queued in nonrt_");
     if (t->is_realtime() && t->rt.arrival_open) {
       bad(who(t) + " has an open RT arrival but sits in nonrt_");
@@ -643,6 +774,7 @@ void LocalScheduler::audit_queues(sim::Nanos now) {
     }
   });
   sleepers_.for_each([&](const nk::Thread* t) {
+    owned(t);
     if (t == cur) bad(who(t) + " is current but queued in sleepers_");
     if (t->state != nk::Thread::State::kSleeping) {
       bad(who(t) + " in sleepers_ but not sleeping");
@@ -678,6 +810,17 @@ void LocalScheduler::audit_utilization(sim::Nanos now) {
     auditor_->record(audit::Invariant::kUtilization, cpu_, now,
                      "sporadic ledger " + std::to_string(sporadic_util_) +
                          " != recomputed " + std::to_string(sporadic));
+  }
+  // Placement-ledger invariant: the global subsystem's per-CPU view must
+  // track this scheduler's own ledgers exactly (same deltas, same clamping).
+  if (ledger_ != nullptr && auditor_->config().check_placement_ledger) {
+    const double mine = admitted_periodic_util_ + sporadic_util_;
+    if (std::abs(ledger_->committed(cpu_) - mine) > kLedgerEps) {
+      auditor_->record(
+          audit::Invariant::kPlacementLedger, cpu_, now,
+          "placement ledger " + std::to_string(ledger_->committed(cpu_)) +
+              " != scheduler ledgers " + std::to_string(mine));
+    }
   }
 }
 

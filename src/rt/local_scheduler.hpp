@@ -34,6 +34,10 @@ namespace hrt::audit {
 class Auditor;
 }
 
+namespace hrt::global {
+class UtilizationLedger;
+}
+
 namespace hrt::rt {
 
 enum class AdmissionPolicy : std::uint8_t {
@@ -72,6 +76,8 @@ class LocalScheduler final : public nk::SchedulerBase {
       bool stale_sporadic_tail = false;   // keep rr_seq + reservation on tail
       bool double_count_current = false;  // thread_count() counts cur twice
       bool rearm_past_quantum = false;    // arm quantum target in the past
+      bool drop_ledger_release = false;   // placement ledger misses releases
+      bool stale_migrate_cpu = false;     // migrate without updating t->cpu
     };
     TestFaults test_faults;
   };
@@ -85,6 +91,10 @@ class LocalScheduler final : public nk::SchedulerBase {
     std::uint64_t tasks_inline = 0;
     std::uint64_t rr_rotations = 0;
     std::uint64_t zero_delay_arms = 0;  // one-shot armed with zero delay
+    std::uint64_t migrations_requested = 0;  // request_migration accepted
+    std::uint64_t migrations_out = 0;        // hand-offs completed from here
+    std::uint64_t migrations_in = 0;         // hand-offs landed here
+    std::uint64_t migration_failures = 0;    // hand-off fell back / demoted
   };
 
   LocalScheduler(nk::Kernel& kernel, std::uint32_t cpu, Config cfg);
@@ -104,6 +114,7 @@ class LocalScheduler final : public nk::SchedulerBase {
   void submit_task(nk::Task task) override;
   [[nodiscard]] std::size_t stealable_count() const override;
   nk::Thread* try_steal() override;
+  bool detach_for_migration(nk::Thread& t) override;
   [[nodiscard]] std::size_t thread_count() const override;
   [[nodiscard]] double admitted_utilization() const override {
     return admitted_periodic_util_ + sporadic_util_;
@@ -137,6 +148,14 @@ class LocalScheduler final : public nk::SchedulerBase {
   void cancel_reservation(nk::Thread& t);
   [[nodiscard]] bool has_reservation(const nk::Thread& t) const;
 
+  // --- job-boundary RT migration (global placement, docs/GLOBAL.md) ---
+  // Move an admitted periodic thread to another CPU without ever splitting a
+  // job: the target's utilization is held with a reservation immediately,
+  // and the hand-off happens when the thread is parked between arrivals —
+  // right away if it already is, otherwise at its next arrival close inside
+  // pass().  Lifetime statistics (arrivals/misses) survive the move.
+  bool request_migration(nk::Thread& t, std::uint32_t to);
+
  private:
   struct ArrivalBefore {
     bool operator()(const nk::Thread* a, const nk::Thread* b) const {
@@ -165,6 +184,9 @@ class LocalScheduler final : public nk::SchedulerBase {
   void pump(sim::Nanos now);
   void open_arrival(nk::Thread* t);
   void close_arrival(nk::Thread* t, sim::Nanos now);
+  void complete_migration(nk::Thread& t, sim::Nanos now);
+  void ledger_admit(double util);
+  void ledger_release(double util);
   nk::Thread* select_next(sim::Nanos now, nk::PassReason reason);
   void detach_bookkeeping(nk::Thread* t);
   [[nodiscard]] bool admit_check(nk::Thread& t, const Constraints& c) const;
@@ -181,6 +203,7 @@ class LocalScheduler final : public nk::SchedulerBase {
   nk::CpuExecutor* exec_ = nullptr;
   sim::Nanos slop_;  // timer earliness tolerance (one APIC tick)
   audit::Auditor* auditor_ = nullptr;  // owned by System; may be null
+  global::UtilizationLedger* ledger_ = nullptr;  // placement ledger; may be null
   sim::Nanos budget_audit_slop_ = 0;   // tolerance for the budget invariant
   std::uint32_t zero_arm_streak_ = 0;  // consecutive zero-delay one-shots
 

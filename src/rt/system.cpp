@@ -1,5 +1,9 @@
 #include "rt/system.hpp"
 
+#include <stdexcept>
+
+#include "group/group_admission.hpp"
+
 namespace hrt {
 
 System::System() : System(Options{}) {}
@@ -10,8 +14,19 @@ System::System(Options options) : options_(std::move(options)) {
   machine_ = std::make_unique<hw::Machine>(spec, options_.seed);
   auditor_ = std::make_unique<audit::Auditor>(options_.audit);
 
+  // Per-CPU capacity available to RT admission; the ledger must agree with
+  // the local schedulers on what "full" means.
+  const double capacity = options_.sched.utilization_limit -
+                          options_.sched.sporadic_reservation -
+                          options_.sched.aperiodic_reservation;
+  global::Config gc = options_.placement_config;
+  gc.interrupt_laden_cpus = options_.interrupt_laden_cpus;
+  global_ = std::make_unique<global::GlobalScheduler>(machine_->num_cpus(),
+                                                      capacity, gc);
+
   nk::Kernel::Options ko;
   ko.auditor = auditor_.get();
+  ko.placement_ledger = &global_->ledger();
   ko.scheduler_factory = rt::make_scheduler_factory(options_.sched);
   ko.work_stealing = options_.work_stealing;
   ko.interrupt_laden_cpus = options_.interrupt_laden_cpus;
@@ -20,6 +35,73 @@ System::System(Options options) : options_(std::move(options)) {
   ko.start_smi_source = true;  // no-op when the spec disables SMIs
   kernel_ = std::make_unique<nk::Kernel>(*machine_, std::move(ko));
   groups_ = std::make_unique<grp::GroupRegistry>(*kernel_);
+  global_->attach(kernel_.get(), groups_.get());
+}
+
+nk::Thread* System::spawn(std::string name,
+                          std::unique_ptr<nk::Behavior> behavior,
+                          std::uint32_t cpu, rt::AperiodicPriority priority) {
+  if (cpu >= kernel_->num_cpus()) {
+    throw std::out_of_range(
+        "System::spawn: cpu " + std::to_string(cpu) +
+        " out of range (machine has " + std::to_string(kernel_->num_cpus()) +
+        " cpus)");
+  }
+  return kernel_->create_thread(std::move(name), std::move(behavior), cpu,
+                                priority);
+}
+
+nk::Thread* System::spawn_auto(std::string name,
+                               std::unique_ptr<nk::Behavior> behavior,
+                               const rt::Constraints& constraints,
+                               rt::AperiodicPriority priority) {
+  const std::uint32_t cpu = global_->place(constraints);
+  return kernel_->create_thread(
+      std::move(name), global_->auto_admit(constraints, std::move(behavior)),
+      cpu, priority);
+}
+
+std::vector<nk::Thread*> System::spawn_split(
+    const std::string& name, const rt::Constraints& constraints,
+    const std::function<std::unique_ptr<nk::Behavior>(std::uint32_t)>&
+        make_inner) {
+  global::SplitPlan plan =
+      global_->plan_split(constraints, options_.sched.min_slice);
+  if (!plan.ok) return {};
+  std::vector<nk::Thread*> out;
+  out.reserve(plan.chunks.size());
+  for (std::uint32_t i = 0; i < plan.chunks.size(); ++i) {
+    const global::SplitChunk& sc = plan.chunks[i];
+    std::unique_ptr<nk::Behavior> inner =
+        make_inner ? make_inner(i)
+                   : std::make_unique<nk::BusyLoopBehavior>(sim::millis(2));
+    out.push_back(kernel_->create_thread(
+        name + "." + std::to_string(i),
+        global_->auto_admit(sc.constraints, std::move(inner)), sc.cpu));
+  }
+  return out;
+}
+
+std::vector<nk::Thread*> System::spawn_group_auto(
+    const std::string& name, std::uint32_t n,
+    const rt::Constraints& constraints,
+    const std::function<std::unique_ptr<nk::Behavior>(std::uint32_t)>&
+        make_inner) {
+  const std::vector<std::uint32_t> cpus =
+      global_->engine().choose_group(n, constraints);
+  if (cpus.size() != n) return {};
+  grp::ThreadGroup* group = groups_->create(name, n);
+  if (group == nullptr) return {};
+  std::vector<nk::Thread*> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out.push_back(kernel_->create_thread(
+        name + "." + std::to_string(i),
+        std::make_unique<grp::GroupAdmitThenBehavior>(
+            *group, constraints, make_inner(i), /*join_first=*/true),
+        cpus[i]));
+  }
+  return out;
 }
 
 }  // namespace hrt

@@ -13,10 +13,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "audit/auditor.hpp"
+#include "global/global_scheduler.hpp"
 #include "group/group.hpp"
 #include "hw/machine.hpp"
 #include "nautilus/kernel.hpp"
@@ -38,6 +41,9 @@ class System {
     /// Scheduler invariant audits (audit/auditor.hpp).  Off by default;
     /// HRT_FORCE_AUDIT builds force them on and throwing regardless.
     audit::Config audit{};
+    /// Global placement subsystem (src/global/, docs/GLOBAL.md).
+    /// interrupt_laden_cpus is synced from the option above at construction.
+    global::Config placement_config{};
   };
 
   System();  // Xeon Phi spec, default scheduler config
@@ -55,19 +61,48 @@ class System {
   [[nodiscard]] grp::GroupRegistry& groups() { return *groups_; }
   [[nodiscard]] const Options& options() const { return options_; }
   [[nodiscard]] audit::Auditor& auditor() { return *auditor_; }
+  [[nodiscard]] global::GlobalScheduler& placement() { return *global_; }
 
   /// The concrete hard real-time scheduler on `cpu`.
   [[nodiscard]] rt::LocalScheduler& sched(std::uint32_t cpu) {
     return static_cast<rt::LocalScheduler&>(kernel_->scheduler(cpu));
   }
 
-  /// Create an aperiodic thread bound to `cpu`.
+  /// Create an aperiodic thread bound to `cpu`.  Throws std::out_of_range
+  /// on a CPU the machine does not have.
   nk::Thread* spawn(std::string name, std::unique_ptr<nk::Behavior> behavior,
                     std::uint32_t cpu,
-                    rt::AperiodicPriority priority = rt::kDefaultPriority) {
-    return kernel_->create_thread(std::move(name), std::move(behavior), cpu,
-                                  priority);
-  }
+                    rt::AperiodicPriority priority = rt::kDefaultPriority);
+
+  /// Auto-placed spawn: the global placement engine picks the CPU for
+  /// `constraints`, and the behavior is wrapped so the thread requests
+  /// admission itself, retrying (with rebalancer help) on rejection before
+  /// handing control to `behavior` (docs/GLOBAL.md).
+  nk::Thread* spawn_auto(std::string name,
+                         std::unique_ptr<nk::Behavior> behavior,
+                         const rt::Constraints& constraints,
+                         rt::AperiodicPriority priority = rt::kDefaultPriority);
+
+  /// Semi-partitioned overflow spawn: split a periodic constraint that fits
+  /// no single CPU into pipeline chunks (global::split_task) and spawn one
+  /// auto-admitted thread per chunk, named `name.0`, `name.1`, ...
+  /// `make_inner(i)` supplies chunk i's behavior (default: busy loop).
+  /// Empty result when no viable split exists.
+  std::vector<nk::Thread*> spawn_split(
+      const std::string& name, const rt::Constraints& constraints,
+      const std::function<std::unique_ptr<nk::Behavior>(std::uint32_t)>&
+          make_inner = nullptr);
+
+  /// Group-aware auto placement: choose `n` distinct CPUs with headroom for
+  /// `constraints` (interrupt-free preferred), create group `name`, and
+  /// spawn one member per CPU running the full group admission protocol
+  /// around `make_inner(i)`.  Empty result when the CPUs or the group name
+  /// are unavailable.
+  std::vector<nk::Thread*> spawn_group_auto(
+      const std::string& name, std::uint32_t n,
+      const rt::Constraints& constraints,
+      const std::function<std::unique_ptr<nk::Behavior>(std::uint32_t)>&
+          make_inner);
 
   /// Advance the simulation.
   void run_for(sim::Nanos d) { engine().run_until(engine().now() + d); }
@@ -86,6 +121,7 @@ class System {
   Options options_;
   std::unique_ptr<hw::Machine> machine_;
   std::unique_ptr<audit::Auditor> auditor_;  // before kernel_: schedulers use it
+  std::unique_ptr<global::GlobalScheduler> global_;  // ledger precedes kernel_
   std::unique_ptr<nk::Kernel> kernel_;
   std::unique_ptr<grp::GroupRegistry> groups_;
 };

@@ -1,0 +1,440 @@
+// Global placement subsystem (src/global/, docs/GLOBAL.md): policy packing
+// against real per-CPU admission, semi-partitioned overflow, the utilization
+// ledger and its audit invariant, job-boundary RT migration, rebalancing,
+// and the auto-placement spawn API.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <set>
+
+#include "global/global_scheduler.hpp"
+#include "group/group_admission.hpp"
+#include "rt/system.hpp"
+#include "rt/taskset_gen.hpp"
+
+namespace hrt {
+namespace {
+
+System::Options placed(std::uint32_t cpus = 4, std::uint32_t laden = 1) {
+  System::Options o;
+  o.spec = hw::MachineSpec::phi_small(cpus);
+  o.smi_enabled = false;
+  o.spec.smi.enabled = false;
+  o.audit.enabled = true;  // accumulate mode; FORCE builds throw instead
+  o.interrupt_laden_cpus = laden;
+  return o;
+}
+
+/// Run `fn`, tolerating the AuditError a throwing-mode (HRT_FORCE_AUDIT)
+/// auditor raises, and return how many `inv` violations were seen.
+std::uint64_t run_counting(System& sys, audit::Invariant inv,
+                           const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const audit::AuditError& e) {
+    EXPECT_EQ(e.invariant(), inv) << e.what();
+  }
+  return sys.auditor().count(inv);
+}
+
+/// Self-admitting RT worker for pinned spawns (the spawn_auto wrapper does
+/// the admission itself, so auto-spawned inners just compute).
+std::unique_ptr<nk::FnBehavior> rt_worker(rt::Constraints c) {
+  return std::make_unique<nk::FnBehavior>(
+      [c](nk::ThreadCtx&, std::uint64_t step) {
+        if (step == 0) return nk::Action::change_constraints(c);
+        return nk::Action::compute(sim::millis(2));
+      });
+}
+
+/// Inner behavior that computes `jobs` chunks then exits.
+std::unique_ptr<nk::FnBehavior> finite_worker(std::uint64_t jobs,
+                                              sim::Nanos chunk) {
+  return std::make_unique<nk::FnBehavior>(
+      [jobs, chunk](nk::ThreadCtx&, std::uint64_t step) {
+        if (step < jobs) return nk::Action::compute(chunk);
+        return nk::Action::exit();
+      });
+}
+
+std::unique_ptr<nk::Behavior> busy(sim::Nanos chunk = sim::micros(100)) {
+  return std::make_unique<nk::BusyLoopBehavior>(chunk);
+}
+
+bool admitted_rt(const nk::Thread* t) {
+  return t->is_realtime() && t->rt.arrivals > 0;
+}
+
+// ---------- satellite: spawn rejects out-of-range CPUs ----------
+
+TEST(SystemSpawn, RejectsOutOfRangeCpu) {
+  System sys(placed(2));
+  sys.boot();
+  EXPECT_THROW(sys.spawn("oob", busy(), 2), std::out_of_range);
+  EXPECT_THROW(sys.spawn("oob", busy(), 99), std::out_of_range);
+  nk::Thread* ok = sys.spawn("ok", busy(), 1);
+  ASSERT_NE(ok, nullptr);
+  EXPECT_EQ(ok->cpu, 1u);
+}
+
+// ---------- utilization ledger ----------
+
+TEST(Ledger, TracksAdmitAndExit) {
+  System sys(placed(2, 0));
+  sys.boot();
+  auto& ledger = sys.placement().ledger();
+  EXPECT_DOUBLE_EQ(ledger.total_committed(), 0.0);
+
+  const auto c =
+      rt::Constraints::periodic(sim::millis(1), sim::millis(1), sim::micros(300));
+  nk::Thread* t =
+      sys.spawn_auto("worker", finite_worker(6, sim::micros(250)), c);
+  sys.run_for(sim::millis(4));
+  EXPECT_TRUE(admitted_rt(t));
+  EXPECT_NEAR(ledger.committed(t->cpu), 0.3, 1e-9);
+  EXPECT_GE(ledger.admits(), 1u);
+
+  sys.run_for(sim::millis(30));  // worker exits (and is reaped), util returns
+  EXPECT_TRUE(t->state == nk::Thread::State::kExited ||
+              t->state == nk::Thread::State::kPooled);
+  EXPECT_NEAR(ledger.total_committed(), 0.0, 1e-9);
+  EXPECT_GE(ledger.releases(), 1u);
+  EXPECT_EQ(sys.auditor().total_violations(), 0u);
+}
+
+TEST(Ledger, AuditCatchesDroppedRelease) {
+  System::Options o = placed(2, 0);
+  o.sched.test_faults.drop_ledger_release = true;
+  System sys(o);
+  sys.boot();
+  const auto c =
+      rt::Constraints::periodic(sim::millis(1), sim::millis(1), sim::micros(300));
+  const std::uint64_t n =
+      run_counting(sys, audit::Invariant::kPlacementLedger, [&] {
+        sys.spawn_auto("leaky", finite_worker(4, sim::micros(250)), c);
+        sys.run_for(sim::millis(30));
+      });
+  EXPECT_GE(n, 1u);
+}
+
+// ---------- policy packing vs real per-CPU admission ----------
+
+TEST(Placement, PoliciesPassPerCpuAdmission) {
+  constexpr std::uint32_t kCpus = 4;
+  constexpr double kCapacity = 0.79;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    sim::Rng rng(seed);
+    rt::TaskSetParams params;
+    params.n = 10;
+    params.total_utilization = 2.4;
+    params.min_slice = sim::micros(10);
+    const auto tasks = rt::generate_taskset(params, rng);
+    for (global::Policy p :
+         {global::Policy::kFirstFit, global::Policy::kBestFit,
+          global::Policy::kWorstFit, global::Policy::kTopology}) {
+      const auto r = global::pack_decreasing(tasks, kCpus, kCapacity, p,
+                                             /*interrupt_laden_cpus=*/1);
+      std::vector<std::vector<rt::PeriodicTask>> sets(kCpus);
+      double placed_util = 0.0;
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        if (r.assignment[i] == global::kInvalidCpu) continue;
+        ASSERT_LT(r.assignment[i], kCpus);
+        sets[r.assignment[i]].push_back(tasks[i]);
+        placed_util += static_cast<double>(tasks[i].slice) /
+                       static_cast<double>(tasks[i].period);
+      }
+      for (std::uint32_t cpu = 0; cpu < kCpus; ++cpu) {
+        EXPECT_TRUE(rt::edf_admissible(sets[cpu], kCapacity))
+            << global::policy_name(p) << " overloaded cpu " << cpu
+            << " (seed " << seed << ")";
+        EXPECT_NEAR(r.per_cpu[cpu], rt::total_utilization(sets[cpu]), 1e-9);
+      }
+      EXPECT_NEAR(r.admitted_util, placed_util, 1e-9);
+    }
+  }
+}
+
+TEST(Placement, SemiPartitionedBeatsBestPure) {
+  constexpr std::uint32_t kCpus = 4;
+  constexpr double kCapacity = 0.79;
+  bool strictly_better_somewhere = false;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    sim::Rng rng(seed);
+    rt::TaskSetParams params;
+    params.n = 5;
+    params.total_utilization = 3.0;  // heavy tasks: some exceed one CPU
+    params.min_slice = sim::micros(10);
+    const auto tasks = rt::generate_taskset(params, rng);
+    const auto semi = global::pack_semi_partitioned(
+        tasks, kCpus, kCapacity, sim::micros(10), /*max_chunks=*/4);
+    double best_pure = 0.0;
+    for (global::Policy p :
+         {global::Policy::kFirstFit, global::Policy::kBestFit,
+          global::Policy::kWorstFit}) {
+      const auto r = global::pack_decreasing(tasks, kCpus, kCapacity, p);
+      best_pure = std::max(best_pure, r.admitted_util);
+    }
+    EXPECT_GE(semi.admitted_util, best_pure - 1e-9) << "seed " << seed;
+    if (semi.admitted_util > best_pure + 1e-9) strictly_better_somewhere = true;
+    // Split chunks never exceed any CPU's capacity either.
+    for (std::uint32_t cpu = 0; cpu < kCpus; ++cpu) {
+      EXPECT_LE(semi.per_cpu[cpu], kCapacity + 1e-9);
+    }
+  }
+  EXPECT_TRUE(strictly_better_somewhere)
+      << "splitting never admitted more than pure partitioning";
+}
+
+TEST(Placement, SplitPlanPipelineMath) {
+  rt::PeriodicTask task;
+  task.period = sim::millis(1);
+  task.slice = sim::micros(900);  // u = 0.9: fits no single CPU below
+  task.phase = sim::micros(500);
+  const std::vector<double> headroom = {0.5, 0.3, 0.5};
+  const auto plan =
+      global::split_task(task, headroom, sim::micros(10), /*max_chunks=*/8);
+  ASSERT_TRUE(plan.ok);
+  ASSERT_GE(plan.chunks.size(), 2u);
+  sim::Nanos total = 0;
+  for (std::size_t i = 0; i < plan.chunks.size(); ++i) {
+    const auto& c = plan.chunks[i].constraints;
+    ASSERT_EQ(c.cls, rt::ConstraintClass::kPeriodic);
+    EXPECT_EQ(c.period, task.period);
+    // Pipeline phasing: chunk i's window is [phase + i*tau, phase+(i+1)*tau),
+    // so chunk i's deadline is exactly chunk i+1's release — the chunks of
+    // one logical job can never run concurrently.
+    EXPECT_EQ(c.phase, task.phase + static_cast<sim::Nanos>(i) * task.period);
+    ASSERT_LT(plan.chunks[i].cpu, headroom.size());
+    EXPECT_LE(c.utilization(), headroom[plan.chunks[i].cpu] + 1e-9);
+    EXPECT_GE(c.slice, sim::micros(10));
+    total += c.slice;
+  }
+  EXPECT_EQ(total, task.slice);  // the whole job's work is preserved
+}
+
+// ---------- job-boundary RT migration ----------
+
+TEST(Migration, JobBoundaryHandoff) {
+  System sys(placed(4));
+  sys.boot();
+  const auto c =
+      rt::Constraints::periodic(sim::millis(1), sim::millis(1), sim::micros(300));
+  nk::Thread* t = sys.spawn("mover", rt_worker(c), 1);
+  sys.run_for(sim::millis(10));
+  ASSERT_TRUE(admitted_rt(t));
+  ASSERT_EQ(t->cpu, 1u);
+  const std::uint64_t arrivals_before = t->rt.arrivals;
+
+  ASSERT_TRUE(sys.sched(1).request_migration(*t, 2));
+  sys.run_for(sim::millis(20));
+
+  EXPECT_EQ(t->cpu, 2u);
+  EXPECT_EQ(t->migrate_to, nk::kNoMigrateTarget);
+  EXPECT_NEAR(sys.sched(1).admitted_utilization(), 0.0, 1e-9);
+  EXPECT_NEAR(sys.sched(2).admitted_utilization(), 0.3, 1e-9);
+  EXPECT_NEAR(sys.placement().ledger().committed(1), 0.0, 1e-9);
+  EXPECT_NEAR(sys.placement().ledger().committed(2), 0.3, 1e-9);
+  EXPECT_EQ(sys.sched(1).stats().migrations_requested, 1u);
+  EXPECT_EQ(sys.sched(1).stats().migrations_out, 1u);
+  EXPECT_EQ(sys.sched(2).stats().migrations_in, 1u);
+  EXPECT_EQ(sys.sched(1).stats().migration_failures, 0u);
+  // Lifetime stats survived the move and the thread kept running.
+  EXPECT_GT(t->rt.arrivals, arrivals_before);
+  EXPECT_EQ(t->rt.misses, 0u);
+  EXPECT_EQ(sys.auditor().total_violations(), 0u);
+}
+
+TEST(Migration, AuditCatchesStaleCpu) {
+  System::Options o = placed(4);
+  o.sched.test_faults.stale_migrate_cpu = true;
+  System sys(o);
+  sys.boot();
+  const auto c =
+      rt::Constraints::periodic(sim::millis(1), sim::millis(1), sim::micros(300));
+  const std::uint64_t n = run_counting(sys, audit::Invariant::kMigration, [&] {
+    nk::Thread* t = sys.spawn("stale", rt_worker(c), 1);
+    sys.run_for(sim::millis(10));
+    ASSERT_TRUE(sys.sched(1).request_migration(*t, 2));
+    sys.run_for(sim::millis(3));
+  });
+  EXPECT_GE(n, 1u);
+}
+
+// ---------- rebalancer ----------
+
+TEST(Rebalance, MakeRoomAdmitsAfterMigration) {
+  System sys(placed(2, 0));
+  sys.boot();
+  auto util = [](sim::Nanos slice) {
+    return rt::Constraints::periodic(sim::millis(1), sim::millis(1), slice);
+  };
+  nk::Thread* a = sys.spawn_auto("a", busy(), util(sim::micros(300)));
+  sys.run_for(sim::millis(3));
+  nk::Thread* b = sys.spawn_auto("b", busy(), util(sim::micros(300)));
+  sys.run_for(sim::millis(3));
+  ASSERT_TRUE(admitted_rt(a));
+  ASSERT_TRUE(admitted_rt(b));
+  ASSERT_NE(a->cpu, b->cpu);  // worst-fit spread them out
+
+  // 0.6 fits neither CPU (capacity 0.79, each holds 0.3) — the auto-admit
+  // retry path must migrate one of a/b aside to make room.
+  nk::Thread* big = sys.spawn_auto("big", busy(), util(sim::micros(600)));
+  sys.run_for(sim::millis(50));
+
+  EXPECT_TRUE(admitted_rt(big));
+  EXPECT_GE(sys.placement().rebalancer().stats().make_room_migrations, 1u);
+  EXPECT_EQ(a->rt.misses, 0u);
+  EXPECT_EQ(b->rt.misses, 0u);
+  EXPECT_EQ(big->rt.misses, 0u);
+  EXPECT_EQ(sys.auditor().total_violations(), 0u);
+}
+
+TEST(Rebalance, ExitTriggersRebalance) {
+  System sys(placed(2, 0));
+  sys.boot();
+  const auto c =
+      rt::Constraints::periodic(sim::millis(1), sim::millis(1), sim::micros(300));
+  // Four 0.3 threads spread 2+2; the two transient ones land on the same
+  // CPU (worst-fit alternates), and their exits leave a 0.6-vs-0 imbalance
+  // the exit-rebalance pass must level with one migration.
+  nk::Thread* t1 = sys.spawn_auto("short1", finite_worker(8, sim::micros(250)), c);
+  sys.run_for(sim::millis(2));
+  nk::Thread* p1 = sys.spawn_auto("long1", busy(), c);
+  sys.run_for(sim::millis(2));
+  nk::Thread* t2 = sys.spawn_auto("short2", finite_worker(8, sim::micros(250)), c);
+  sys.run_for(sim::millis(2));
+  nk::Thread* p2 = sys.spawn_auto("long2", busy(), c);
+  sys.run_for(sim::millis(2));
+  ASSERT_TRUE(admitted_rt(t1) && admitted_rt(p1) && admitted_rt(t2) &&
+              admitted_rt(p2));
+  ASSERT_EQ(t1->cpu, t2->cpu);
+  ASSERT_EQ(p1->cpu, p2->cpu);
+  ASSERT_NE(t1->cpu, p1->cpu);
+
+  sys.run_for(sim::millis(40));  // transients exit; rebalancer levels
+
+  EXPECT_TRUE(t1->state == nk::Thread::State::kExited ||
+              t1->state == nk::Thread::State::kPooled);
+  EXPECT_TRUE(t2->state == nk::Thread::State::kExited ||
+              t2->state == nk::Thread::State::kPooled);
+  EXPECT_GE(sys.placement().rebalancer().stats().migrations_proposed, 1u);
+  const auto& ledger = sys.placement().ledger();
+  EXPECT_LE(std::abs(ledger.committed(0) - ledger.committed(1)), 0.25 + 1e-9);
+  EXPECT_EQ(p1->rt.misses, 0u);
+  EXPECT_EQ(p2->rt.misses, 0u);
+  EXPECT_EQ(sys.auditor().total_violations(), 0u);
+}
+
+// ---------- topology-aware + group placement ----------
+
+TEST(Placement, TopologySteersRtOffLadenCpu) {
+  System sys(placed(4, 2));
+  sys.boot();
+  const auto c =
+      rt::Constraints::periodic(sim::millis(1), sim::millis(1), sim::micros(200));
+  std::vector<nk::Thread*> rts;
+  for (int i = 0; i < 4; ++i) {
+    rts.push_back(sys.spawn_auto("rt" + std::to_string(i), busy(), c));
+    sys.run_for(sim::millis(3));
+  }
+  for (nk::Thread* t : rts) {
+    EXPECT_TRUE(admitted_rt(t));
+    EXPECT_GE(t->cpu, 2u) << "RT thread placed on interrupt-laden cpu";
+  }
+  nk::Thread* ap =
+      sys.spawn_auto("aper", busy(), rt::Constraints::aperiodic());
+  EXPECT_LT(ap->cpu, 2u) << "aperiodic thread wasted interrupt-free cpu";
+  EXPECT_EQ(sys.auditor().total_violations(), 0u);
+}
+
+TEST(Group, AutoPlacementCoLocates) {
+  System sys(placed(4, 1));
+  sys.boot();
+  const auto c = rt::Constraints::periodic(sim::millis(2), sim::millis(1),
+                                           sim::micros(150));
+  const auto members = sys.spawn_group_auto(
+      "team", 3, c, [](std::uint32_t) { return busy(); });
+  ASSERT_EQ(members.size(), 3u);
+  std::set<std::uint32_t> cpus;
+  for (nk::Thread* t : members) cpus.insert(t->cpu);
+  EXPECT_EQ(cpus.size(), 3u);  // distinct CPUs: members run concurrently
+  for (std::uint32_t cpu : cpus) EXPECT_GE(cpu, 1u);  // interrupt-free
+
+  sys.run_for(sim::millis(40));
+  for (nk::Thread* t : members) {
+    auto* b = dynamic_cast<grp::GroupAdmitThenBehavior*>(t->behavior);
+    ASSERT_NE(b, nullptr);
+    EXPECT_TRUE(b->protocol().succeeded());
+    EXPECT_TRUE(admitted_rt(t));
+    EXPECT_EQ(t->rt.misses, 0u);
+  }
+  EXPECT_EQ(sys.auditor().total_violations(), 0u);
+}
+
+// ---------- overflow spawn + churn ----------
+
+TEST(Overflow, SpawnSplitAdmitsOversizedTask) {
+  System sys(placed(2, 0));
+  sys.boot();
+  // u = 0.9 fits no single CPU (capacity 0.79); the split spawns pipeline
+  // chunks whose phases differ by exactly one period.
+  const auto c =
+      rt::Constraints::periodic(sim::millis(1), sim::millis(1), sim::micros(900));
+  const auto chunks = sys.spawn_split("wide", c);
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_NE(chunks[0]->cpu, chunks[1]->cpu);
+
+  sys.run_for(sim::millis(40));
+  sim::Nanos total_slice = 0;
+  for (nk::Thread* t : chunks) {
+    EXPECT_TRUE(admitted_rt(t));
+    EXPECT_EQ(t->rt.misses, 0u);
+    total_slice += t->constraints.slice;
+  }
+  EXPECT_EQ(total_slice, c.slice);
+  EXPECT_EQ(chunks[1]->constraints.phase - chunks[0]->constraints.phase,
+            c.period);
+  EXPECT_EQ(sys.auditor().total_violations(), 0u);
+}
+
+TEST(Placement, ChurnKeepsLedgerInvariants) {
+  System sys(placed(4, 1));
+  sys.boot();
+  auto periodic = [](sim::Nanos slice) {
+    return rt::Constraints::periodic(sim::millis(1), sim::millis(1), slice);
+  };
+  // Waves of transient RT threads plus one sporadic: admissions, exits, and
+  // rebalance migrations all feed the ledger; every scheduler pass
+  // cross-checks it against the per-CPU ledgers (kPlacementLedger).
+  for (int wave = 0; wave < 3; ++wave) {
+    for (int i = 0; i < 4; ++i) {
+      sys.spawn_auto("w" + std::to_string(wave) + "." + std::to_string(i),
+                     finite_worker(12, sim::micros(120)),
+                     periodic(sim::micros(150)));
+      sys.run_for(sim::millis(2));
+    }
+    sys.spawn_auto("s" + std::to_string(wave),
+                   finite_worker(3, sim::micros(80)),
+                   rt::Constraints::sporadic(sim::micros(500), sim::micros(200),
+                                             sim::millis(2)));
+    sys.run_for(sim::millis(25));
+  }
+  sys.run_for(sim::millis(50));
+
+  EXPECT_EQ(sys.auditor().total_violations(), 0u);
+  const auto& ledger = sys.placement().ledger();
+  double sched_total = 0.0;
+  for (std::uint32_t cpu = 0; cpu < 4; ++cpu) {
+    EXPECT_NEAR(ledger.committed(cpu), sys.sched(cpu).admitted_utilization(),
+                1e-9);
+    sched_total += sys.sched(cpu).admitted_utilization();
+  }
+  EXPECT_NEAR(ledger.total_committed(), sched_total, 1e-9);
+  EXPECT_GE(ledger.admits(), 12u);
+  EXPECT_GE(ledger.releases(), 12u);
+}
+
+}  // namespace
+}  // namespace hrt
