@@ -9,6 +9,9 @@
 #   BENCH_placement.json — ablate_placement: pure partitioning policies vs
 #                          semi-partitioned overflow (admitted utilization,
 #                          zero-miss executions, replay-oracle verdict)
+#   BENCH_smi_resilience.json — ablate_smi_resilience: missing-time estimator
+#                          accuracy vs SmiSource ground truth + storm-shedding
+#                          A/B (baseline misses, resilient post-shed zero)
 #   BENCH_figures.json   — wall time + shape-check results per figure binary
 #
 # The committed PR-over-PR snapshots live in bench/snapshots/; refresh them
@@ -40,6 +43,9 @@ echo "== micro_engine -> BENCH_engine.json"
 echo "== ablate_placement -> BENCH_placement.json"
 "$BIN/ablate_placement" $MODE_FLAG --json=BENCH_placement.json
 
+echo "== ablate_smi_resilience -> BENCH_smi_resilience.json"
+"$BIN/ablate_smi_resilience" $MODE_FLAG --json=BENCH_smi_resilience.json
+
 FIGURES="fig03_tsc_sync fig04_scope_trace fig05_overheads fig06_missrate_phi \
 fig07_missrate_r415 fig08_misstime_phi fig09_misstime_r415 \
 fig10_group_admission fig11_group_sync8 fig12_group_sync_scale \
@@ -69,4 +75,4 @@ echo "== figure sweep -> BENCH_figures.json ($MODE mode)"
   printf ']}\n'
 } > BENCH_figures.json
 
-echo "wrote BENCH_engine.json BENCH_placement.json BENCH_figures.json"
+echo "wrote BENCH_engine.json BENCH_placement.json BENCH_smi_resilience.json BENCH_figures.json"

@@ -46,8 +46,8 @@ int main() {
   std::printf("cpu time:    %.3f ms (utilization %.1f%%)\n",
               (double)t->total_cpu_ns / 1e6,
               100.0 * (double)t->total_cpu_ns / (double)sim::seconds(1));
+  const hrt::hw::SmiStats smi = sys.machine().smi().stats();
   std::printf("SMIs endured: %llu (stole %.1f us of machine time)\n",
-              (unsigned long long)sys.machine().smi().count(),
-              (double)sys.machine().smi().total_stolen() / 1e3);
+              (unsigned long long)smi.count, (double)smi.total_stolen_ns / 1e3);
   return t->rt.misses == 0 ? 0 : 1;
 }

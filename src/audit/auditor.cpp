@@ -22,6 +22,10 @@ const char* invariant_name(Invariant inv) {
       return "placement-ledger";
     case Invariant::kMigration:
       return "migration";
+    case Invariant::kShedState:
+      return "shed-state";
+    case Invariant::kEffectiveCapacity:
+      return "effective-capacity";
   }
   return "?";
 }

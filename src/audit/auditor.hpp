@@ -31,6 +31,12 @@
 //   * migration: every thread queued on a scheduler is owned by that CPU
 //     (t->cpu agrees), and job-boundary migration hand-offs never fail
 //     despite holding a reservation on the target.
+//   * shed-state: every shed record held by the resilience storm controller
+//     matches the live thread it names (idle-priority aperiodic while shed;
+//     records never dangle past thread exit/reuse).
+//   * effective-capacity: the per-CPU capacity published to the placement
+//     ledger equals the controller's degraded value (base - missing-time
+//     EWMA - reserve) and never exceeds the configured base capacity.
 //
 // Compile with -DHRT_FORCE_AUDIT=1 (CMake option HRT_FORCE_AUDIT) to force
 // every Auditor into enabled+throwing mode regardless of runtime config;
@@ -57,6 +63,8 @@ enum class Invariant : std::uint8_t {
   kReplay,
   kPlacementLedger,
   kMigration,
+  kShedState,
+  kEffectiveCapacity,
 };
 
 [[nodiscard]] const char* invariant_name(Invariant inv);
@@ -92,6 +100,8 @@ struct Config {
   bool check_group = true;
   bool check_placement_ledger = true;
   bool check_migration = true;
+  bool check_shed_state = true;
+  bool check_effective_capacity = true;
   /// Violations recorded verbatim; beyond this only the counter grows.
   std::size_t max_recorded = 64;
   /// Extra tolerance for the budget-conservation check, on top of the
@@ -132,7 +142,7 @@ class Auditor {
   std::vector<Violation> violations_;
   std::uint64_t total_violations_ = 0;
   std::uint64_t checks_run_ = 0;
-  std::uint64_t per_invariant_[9] = {};
+  std::uint64_t per_invariant_[11] = {};
 };
 
 }  // namespace hrt::audit

@@ -34,13 +34,20 @@ std::uint32_t PlacementEngine::choose_cpu(double util, bool realtime) const {
   const std::uint32_t n = ledger_.num_cpus();
   if (n == 0) return kInvalidCpu;
 
+  // Storm-hit CPUs (resilience controller) are considered only when no
+  // quiet CPU in the candidate set fits.
   auto pick = [&](auto&& eligible, auto&& better) {
-    std::uint32_t best = kInvalidCpu;
-    for (std::uint32_t c = 0; c < n; ++c) {
-      if (!eligible(c) || !fits(c, util)) continue;
-      if (best == kInvalidCpu || better(c, best)) best = c;
-    }
-    return best;
+    auto scan = [&](bool avoid_storm) {
+      std::uint32_t best = kInvalidCpu;
+      for (std::uint32_t c = 0; c < n; ++c) {
+        if (avoid_storm && storm_hit(c)) continue;
+        if (!eligible(c) || !fits(c, util)) continue;
+        if (best == kInvalidCpu || better(c, best)) best = c;
+      }
+      return best;
+    };
+    const std::uint32_t quiet = scan(true);
+    return quiet != kInvalidCpu ? quiet : scan(false);
   };
   auto any = [](std::uint32_t) { return true; };
   auto lowest = [](std::uint32_t, std::uint32_t) { return false; };
@@ -89,13 +96,19 @@ std::uint32_t PlacementEngine::fallback_cpu(bool realtime) const {
                      cfg_.steer_rt_interrupt_free &&
                      cfg_.interrupt_laden_cpus < n;
   std::uint32_t best = kInvalidCpu;
+  std::uint32_t best_quiet = kInvalidCpu;
   for (std::uint32_t c = steer ? cfg_.interrupt_laden_cpus : 0; c < n; ++c) {
     if (best == kInvalidCpu ||
         ledger_.committed(c) < ledger_.committed(best)) {
       best = c;
     }
+    if (!storm_hit(c) &&
+        (best_quiet == kInvalidCpu ||
+         ledger_.committed(c) < ledger_.committed(best_quiet))) {
+      best_quiet = c;
+    }
   }
-  return best;
+  return best_quiet != kInvalidCpu ? best_quiet : best;
 }
 
 std::vector<std::uint32_t> PlacementEngine::rt_cpu_order(double util) const {
@@ -108,6 +121,8 @@ std::vector<std::uint32_t> PlacementEngine::rt_cpu_order(double util) const {
   const std::uint32_t laden = steer ? cfg_.interrupt_laden_cpus : 0;
   std::stable_sort(order.begin(), order.end(),
                    [&](std::uint32_t a, std::uint32_t b) {
+                     const bool sa = storm_hit(a), sb = storm_hit(b);
+                     if (sa != sb) return !sa;  // quiet CPUs first
                      const bool fa = a >= laden, fb = b >= laden;
                      if (fa != fb) return fa;  // interrupt-free first
                      return ledger_.headroom(a) > ledger_.headroom(b);

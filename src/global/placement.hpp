@@ -96,11 +96,26 @@ class PlacementEngine {
   /// headroom.  Used by the rebalancer's make-room search.
   [[nodiscard]] std::vector<std::uint32_t> rt_cpu_order(double util) const;
 
+  /// Storm deprioritization (docs/RESILIENCE.md): the resilience controller
+  /// marks CPUs it has classified as storm-hit; choose_cpu and rt_cpu_order
+  /// then prefer quiet CPUs, falling back to stormy ones only when nothing
+  /// else fits.  SMIs freeze the whole machine, but per-CPU marks matter
+  /// because storm-hit CPUs are the ones whose *committed* load no longer
+  /// fits their degraded capacity.
+  void set_storm_flags(const std::vector<std::uint8_t>* flags) {
+    storm_flags_ = flags;
+  }
+  [[nodiscard]] bool storm_hit(std::uint32_t cpu) const {
+    return storm_flags_ != nullptr && cpu < storm_flags_->size() &&
+           (*storm_flags_)[cpu] != 0;
+  }
+
  private:
   [[nodiscard]] bool fits(std::uint32_t cpu, double util) const;
 
   const UtilizationLedger& ledger_;
   Config cfg_;
+  const std::vector<std::uint8_t>* storm_flags_ = nullptr;  // by CPU; unowned
 };
 
 // --- offline set packing (bench + overflow planning) ---

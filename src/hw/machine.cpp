@@ -1,5 +1,7 @@
 #include "hw/machine.hpp"
 
+#include <stdexcept>
+
 namespace hrt::hw {
 
 Machine::Machine(const MachineSpec& spec, std::uint64_t seed)
@@ -9,6 +11,9 @@ Machine::Machine(const MachineSpec& spec, std::uint64_t seed)
       ioapic_([this](std::uint32_t cpu_id, Vector v) {
         cpus_[cpu_id]->raise(v);
       }) {
+  if (const char* err = spec_.smi.validate()) {
+    throw std::invalid_argument(err);
+  }
   cpus_.reserve(spec_.num_cpus);
   for (std::uint32_t i = 0; i < spec_.num_cpus; ++i) {
     // CPU 0 defines wall-clock time (section 3.4); the rest carry a raw

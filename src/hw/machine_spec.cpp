@@ -2,6 +2,26 @@
 
 namespace hrt::hw {
 
+const char* SmiSpec::validate() const {
+  if (!enabled) return nullptr;  // ignored fields are not checked
+  if (mean_interval_ns <= 0) return "SmiSpec: mean_interval_ns must be > 0";
+  if (min_duration_ns < 0) return "SmiSpec: min_duration_ns must be >= 0";
+  if (mean_duration_ns < min_duration_ns) {
+    return "SmiSpec: mean_duration_ns < min_duration_ns";
+  }
+  if (max_duration_ns < min_duration_ns) {
+    return "SmiSpec: max_duration_ns < min_duration_ns";
+  }
+  if (burst_enabled) {
+    if (storm_mean_interval_ns <= 0) {
+      return "SmiSpec: burst mode needs storm_mean_interval_ns > 0";
+    }
+    if (mean_quiet_ns <= 0) return "SmiSpec: burst mode needs mean_quiet_ns > 0";
+    if (mean_storm_ns <= 0) return "SmiSpec: burst mode needs mean_storm_ns > 0";
+  }
+  return nullptr;
+}
+
 MachineSpec MachineSpec::phi() {
   MachineSpec s{
       .name = "phi",

@@ -45,12 +45,30 @@ struct TimerSpec {
 /// System management interrupt ("missing time") behavior.  SMIs stop every
 /// CPU while firmware runs; software cannot mask or observe them except as
 /// a surprising jump in the cycle counter (section 3.6).
+///
+/// Burst mode models pathological firmware (thermal handlers, EC polling
+/// loops) as a two-state Markov modulation: the source dwells in a quiet
+/// state at `mean_interval_ns`, occasionally flips into a storm state where
+/// SMIs arrive at `storm_mean_interval_ns`, then recovers.  Dwell times in
+/// both states are exponential, so the whole process stays deterministic
+/// under a seeded RNG.
 struct SmiSpec {
   bool enabled;
-  sim::Nanos mean_interval_ns;  // exponential inter-arrival mean
+  sim::Nanos mean_interval_ns;  // exponential inter-arrival mean (quiet)
   sim::Nanos min_duration_ns;
   sim::Nanos mean_duration_ns;  // min + exponential tail
   sim::Nanos max_duration_ns;   // clamp
+
+  bool burst_enabled = false;
+  sim::Nanos storm_mean_interval_ns = 0;  // inter-arrival mean while storming
+  sim::Nanos mean_quiet_ns = 0;           // exponential dwell in quiet state
+  sim::Nanos mean_storm_ns = 0;           // exponential dwell in storm state
+
+  /// Returns nullptr when the spec is internally consistent, else a static
+  /// string naming the first violated constraint.  `Machine` rejects invalid
+  /// specs at construction (a mean below the minimum used to feed a negative
+  /// mean into the exponential draw, silently).
+  [[nodiscard]] const char* validate() const;
 };
 
 /// Boot-time cycle counter skew across CPUs and calibration quality.

@@ -6,6 +6,13 @@
 // empirically.  The source therefore lives entirely in the hardware layer:
 // it calls a machine-level freeze/unfreeze pair and keeps ground-truth
 // statistics the benchmarks may report but the scheduler may not read.
+//
+// With `SmiSpec::burst_enabled`, arrivals are Markov-modulated: the source
+// alternates between a quiet state (mean_interval_ns) and a storm state
+// (storm_mean_interval_ns), with exponential dwell times in each.  A state
+// flip cancels the pending arrival and redraws it at the new rate, so a
+// storm's elevated rate takes effect immediately rather than after one more
+// quiet-length gap.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +23,17 @@
 #include "sim/rng.hpp"
 
 namespace hrt::hw {
+
+/// Ground-truth snapshot of everything the source has injected.  Benchmarks
+/// compare the scheduler's *empirical* missing-time estimate against this;
+/// the scheduler itself must never read it (see header comment).
+struct SmiStats {
+  std::uint64_t count = 0;             // SMIs delivered (natural + forced)
+  std::uint64_t forced = 0;            // of which force() injections
+  sim::Nanos total_stolen_ns = 0;      // sum of all freeze durations
+  std::uint64_t storm_transitions = 0; // quiet -> storm entries
+  bool in_storm = false;               // current modulation state
+};
 
 class SmiSource {
  public:
@@ -32,25 +50,55 @@ class SmiSource {
     if (spec_.enabled && !started_) {
       started_ = true;
       schedule_next();
+      if (spec_.burst_enabled) schedule_state_flip();
     }
   }
 
   /// Inject one SMI of exactly `duration` right now (failure injection for
-  /// tests and the eager-vs-lazy ablation).
-  void force(sim::Nanos duration) { fire(duration); }
+  /// tests and ablations).  Valid before or after start(): the injection is
+  /// counted in stats() either way, and non-positive durations are ignored
+  /// instead of scheduling a zero-length freeze window.
+  void force(sim::Nanos duration) {
+    if (duration <= 0) return;
+    ++stats_.forced;
+    fire(duration);
+  }
 
-  [[nodiscard]] std::uint64_t count() const { return count_; }
-  [[nodiscard]] sim::Nanos total_stolen() const { return total_stolen_; }
+  /// Ground-truth counters for benches and reports (never the scheduler).
+  [[nodiscard]] SmiStats stats() const { return stats_; }
 
  private:
+  [[nodiscard]] sim::Nanos current_mean_interval() const {
+    return stats_.in_storm ? spec_.storm_mean_interval_ns
+                           : spec_.mean_interval_ns;
+  }
+
   void schedule_next() {
     const auto gap = static_cast<sim::Nanos>(
-        rng_.exponential(static_cast<double>(spec_.mean_interval_ns)));
-    engine_.schedule_after(
+        rng_.exponential(static_cast<double>(current_mean_interval())));
+    next_smi_ = engine_.schedule_after(
         gap < 1 ? 1 : gap,
         [this] {
           fire(draw_duration());
           schedule_next();
+        },
+        sim::EventBand::kSmi);
+  }
+
+  void schedule_state_flip() {
+    const double dwell_mean = static_cast<double>(
+        stats_.in_storm ? spec_.mean_storm_ns : spec_.mean_quiet_ns);
+    const auto dwell = static_cast<sim::Nanos>(rng_.exponential(dwell_mean));
+    engine_.schedule_after(
+        dwell < 1 ? 1 : dwell,
+        [this] {
+          stats_.in_storm = !stats_.in_storm;
+          if (stats_.in_storm) ++stats_.storm_transitions;
+          // Redraw the pending arrival at the new rate so the storm (or the
+          // recovery) is not delayed by a gap drawn at the old rate.
+          engine_.cancel(next_smi_);
+          schedule_next();
+          schedule_state_flip();
         },
         sim::EventBand::kSmi);
   }
@@ -64,8 +112,8 @@ class SmiSource {
   }
 
   void fire(sim::Nanos duration) {
-    ++count_;
-    total_stolen_ += duration;
+    ++stats_.count;
+    stats_.total_stolen_ns += duration;
     freeze_all_(duration);
   }
 
@@ -74,8 +122,8 @@ class SmiSource {
   sim::Rng rng_;
   std::function<void(sim::Nanos)> freeze_all_;
   bool started_ = false;
-  std::uint64_t count_ = 0;
-  sim::Nanos total_stolen_ = 0;
+  sim::EventId next_smi_{};
+  SmiStats stats_;
 };
 
 }  // namespace hrt::hw

@@ -33,7 +33,8 @@ LocalScheduler::LocalScheduler(nk::Kernel& kernel, std::uint32_t cpu,
       pending_(cfg.max_threads),
       rt_run_(cfg.max_threads),
       nonrt_(cfg.max_threads),
-      sleepers_(cfg.max_threads) {
+      sleepers_(cfg.max_threads),
+      estimator_(cfg.estimator) {
   // Budget-conservation tolerance: timer quantization (arming rounds the
   // enforcement interrupt up, and it can land one pass late) plus, when the
   // machine has SMIs, a bounded missing-time allowance — frozen windows are
@@ -217,7 +218,38 @@ nk::PassResult LocalScheduler::pass(nk::PassReason reason, sim::Nanos now) {
   if (reason == nk::PassReason::kTimer) ++stats_.timer_passes;
   if (reason == nk::PassReason::kKick) ++stats_.kick_passes;
 
+  // Missing-time estimation (section 3.6, docs/RESILIENCE.md): a machine
+  // freeze covering a pending timer fire delays its delivery; the lateness
+  // observed here is the only software-visible footprint of an SMI.  The
+  // handler reads its wall clock before any handler cost is charged, so a
+  // non-frozen fire arrives with lateness at most the APIC quantization.
+  // Any pass past the armed fire time means delivery was delayed — a freeze
+  // also delays completion events, and whichever delayed event pumps first
+  // observes the same lateness, so the episode must not be gated on kTimer.
+  if (cfg_.estimator.enabled) {
+    estimator_.advance(now);
+    if (expected_fire_ >= 0 && now >= expected_fire_) {
+      estimator_.note_episode(now - expected_fire_, armed_delay_, now);
+      expected_fire_ = kNoTimer;
+    }
+    pass_entry_ = now;
+  }
+
   pump(now);
+
+  // Shed/restore constraint changes queued by the storm controller apply
+  // here, at the pass quiesce point (see defer_constraint_change).
+  if (!deferred_changes_.empty()) {
+    auto changes = std::move(deferred_changes_);
+    deferred_changes_.clear();
+    for (auto& d : changes) {
+      const bool alive = d.thread->id == d.id && d.thread->cpu == cpu_ &&
+                         d.thread->state != nk::Thread::State::kExited &&
+                         d.thread->state != nk::Thread::State::kPooled;
+      const bool ok = alive && change_constraints(*d.thread, d.constraints, now);
+      if (d.done) d.done(d.thread, ok);
+    }
+  }
 
   // Account the current thread's real-time state.  The executor has already
   // charged its run span into budget_left.
@@ -260,10 +292,37 @@ nk::PassResult LocalScheduler::pass(nk::PassReason reason, sim::Nanos now) {
   const auto n = static_cast<sim::Cycles>(thread_count());
   const auto& cost = kernel_.machine().spec().cost;
   result.pass_cycles = cost.sched_pass_base + cost.sched_pass_per_thread * n;
+
+  // Predict this handler span's cost from the same model the executor
+  // charges, so arm_timer can attribute any stretch beyond it to a freeze
+  // (see MissingTimeEstimator::note_span).  Admission and inline-task spans
+  // have workload-dependent extra cost; exclude them from the signal.
+  if (cfg_.estimator.enabled && pass_entry_ >= 0) {
+    if (reason == nk::PassReason::kChangeConstraints || result.task_ns > 0) {
+      pass_entry_ = kNoTimer;
+    } else {
+      sim::Cycles span_cycles = result.pass_cycles + cost.sched_other;
+      if (result.next != cur) span_cycles += cost.context_switch;
+      if (reason == nk::PassReason::kTimer || reason == nk::PassReason::kKick) {
+        span_cycles += cost.irq_dispatch;
+      }
+      expected_span_ = kernel_.machine().spec().freq.cycles_to_ns(span_cycles);
+    }
+  }
   return result;
 }
 
 void LocalScheduler::arm_timer(sim::Nanos now) {
+  // Freezes landing between the pass and this re-arm are invisible to the
+  // delivery-lateness path: the fire expectation was already consumed, so
+  // the only software-visible footprint is the handler span stretching past
+  // its learned un-frozen minimum (see MissingTimeEstimator::note_span).
+  // An armed fire crossed by the span is NOT charged here — its vector may
+  // have pended benignly while the handler masked interrupts.
+  if (cfg_.estimator.enabled && pass_entry_ >= 0) {
+    estimator_.note_span(now - pass_entry_ - expected_span_, now);
+    pass_entry_ = kNoTimer;
+  }
   sim::Nanos next = kNoTimer;
   auto consider = [&next](sim::Nanos t) {
     if (t >= 0 && (next < 0 || t < next)) next = t;
@@ -303,10 +362,18 @@ void LocalScheduler::arm_timer(sim::Nanos now) {
       (cur == nullptr || !cur->is_realtime())) {
     consider(rt_run_.top()->rt.deadline);
   }
+  // Missing-time watchdog: bound the arming gap so freezes are sampled at a
+  // known rate even on an otherwise idle CPU.  The cadence adapts — quiet
+  // normally, alert once the estimate is elevated (see estimator.hpp).
+  if (cfg_.estimator.enabled) {
+    consider(now + estimator_.watchdog_period());
+  }
 
   auto& apic = kernel_.machine().cpu(cpu_).apic();
   if (next < 0) {
     apic.cancel();
+    expected_fire_ = kNoTimer;
+    armed_delay_ = kNoTimer;
     return;
   }
   sim::Nanos delay = next - now;
@@ -327,12 +394,23 @@ void LocalScheduler::arm_timer(sim::Nanos now) {
   } else {
     zero_arm_streak_ = 0;
   }
+  expected_fire_ = now + delay;
+  armed_delay_ = delay;
   apic.arm_oneshot(delay);
+}
+
+void LocalScheduler::defer_constraint_change(
+    nk::Thread& t, const Constraints& c,
+    std::function<void(nk::Thread*, bool)> done) {
+  deferred_changes_.push_back(DeferredChange{&t, t.id, c, std::move(done)});
 }
 
 bool LocalScheduler::admit_check(nk::Thread& t, const Constraints& c) const {
   if (!cfg_.admission_enabled) return true;
-  const double avail = available_rt_utilization();
+  // Degraded-capacity admission: with resilience on, the budget shrinks by
+  // the estimated missing-time fraction plus the reserve, so a storm-hit CPU
+  // stops accepting load it can no longer actually deliver.
+  const double avail = effective_rt_availability();
   switch (c.cls) {
     case ConstraintClass::kAperiodic:
       return true;  // aperiodic admission cannot fail (section 3.2)

@@ -21,11 +21,13 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "nautilus/kernel.hpp"
 #include "nautilus/scheduler.hpp"
 #include "nautilus/thread.hpp"
+#include "resilience/estimator.hpp"
 #include "rt/admission.hpp"
 #include "rt/constraints.hpp"
 #include "rt/queues.hpp"
@@ -67,6 +69,14 @@ class LocalScheduler final : public nk::SchedulerBase {
     // constraints"), enforced only when admission is enabled.
     sim::Nanos min_period = sim::micros(1);
     sim::Nanos min_slice = sim::micros(1);
+
+    // SMI missing-time resilience (docs/RESILIENCE.md).  The estimator
+    // watches timer-delivery lateness at scheduler entry; when degraded
+    // admission is on, the admission test subtracts the estimated stolen
+    // fraction (plus a reserve) from the available RT utilization.
+    resilience::EstimatorConfig estimator;
+    bool degraded_admission = false;
+    double resilience_reserve = 0.0;
 
     /// Deliberately re-introduce fixed bugs so the auditor's regression
     /// tests can prove each one is caught (test_audit.cpp); never set
@@ -132,6 +142,21 @@ class LocalScheduler final : public nk::SchedulerBase {
     return cfg_.utilization_limit - cfg_.sporadic_reservation -
            cfg_.aperiodic_reservation;
   }
+  /// RT availability after subtracting the estimated missing-time fraction
+  /// and the configured reserve (identity when degraded admission is off).
+  [[nodiscard]] double effective_rt_availability() const {
+    double avail = available_rt_utilization();
+    if (cfg_.degraded_admission) {
+      avail -= estimator_.ewma_fraction() + cfg_.resilience_reserve;
+    }
+    return avail > 0 ? avail : 0.0;
+  }
+  [[nodiscard]] resilience::MissingTimeEstimator& missing_time() {
+    return estimator_;
+  }
+  [[nodiscard]] const resilience::MissingTimeEstimator& missing_time() const {
+    return estimator_;
+  }
   /// Unsized-task access for the task-exec helper thread.
   [[nodiscard]] bool has_unsized_task() const {
     return !unsized_tasks_.empty();
@@ -155,6 +180,17 @@ class LocalScheduler final : public nk::SchedulerBase {
   // right away if it already is, otherwise at its next arrival close inside
   // pass().  Lifetime statistics (arrivals/misses) survive the move.
   bool request_migration(nk::Thread& t, std::uint32_t to);
+
+  // --- deferred constraint changes (resilience shed/restore) ---
+  // External subsystems (the storm controller runs as an engine observer,
+  // outside any CPU's handler sequence) must not mutate scheduler state
+  // directly: the executor may be mid-handler with a dispatch decision
+  // already made.  They queue the change here instead; pass() applies it at
+  // entry — the same quiesce point where arrival closes and migration
+  // hand-offs run.  `done` is called with the admission outcome; the change
+  // is dropped (done(false)) if the thread exited or moved CPUs meanwhile.
+  void defer_constraint_change(nk::Thread& t, const Constraints& c,
+                               std::function<void(nk::Thread*, bool)> done);
 
  private:
   struct ArrivalBefore {
@@ -218,6 +254,20 @@ class LocalScheduler final : public nk::SchedulerBase {
   std::deque<nk::Task> sized_tasks_;
   std::deque<nk::Task> unsized_tasks_;
   std::vector<std::pair<nk::Thread*, Constraints>> reservations_;
+
+  struct DeferredChange {
+    nk::Thread* thread;
+    std::uint64_t id;  // guards against pool reuse between defer and apply
+    Constraints constraints;
+    std::function<void(nk::Thread*, bool)> done;
+  };
+  std::vector<DeferredChange> deferred_changes_;
+
+  resilience::MissingTimeEstimator estimator_;
+  sim::Nanos expected_fire_ = -1;  // target of the last armed one-shot
+  sim::Nanos armed_delay_ = -1;    // its arming delay (the sampling gap)
+  sim::Nanos pass_entry_ = -1;     // start of the handler span being timed
+  sim::Nanos expected_span_ = 0;   // predicted cost of that span
 
   double admitted_periodic_util_ = 0.0;
   double sporadic_util_ = 0.0;

@@ -97,10 +97,10 @@ void print_report(System& sys, std::ostream& os, const ReportOptions& opt) {
      << sys.machine().num_cpus() << " CPUs @ " << std::fixed
      << std::setprecision(1) << sys.machine().spec().freq.ghz()
      << " GHz ===\n";
+  const hw::SmiStats smi = sys.machine().smi().stats();
   os << "now=" << sys.engine().now() << " ns  events="
-     << sys.engine().events_executed() << "  smis="
-     << sys.machine().smi().count() << " (stole "
-     << sys.machine().smi().total_stolen() / 1000 << " us)\n\n";
+     << sys.engine().events_executed() << "  smis=" << smi.count << " (stole "
+     << smi.total_stolen_ns / 1000 << " us)\n\n";
   print_cpu_report(sys, os, opt);
   os << "\n";
   print_thread_report(sys, os, opt);

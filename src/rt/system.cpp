@@ -14,6 +14,16 @@ System::System(Options options) : options_(std::move(options)) {
   machine_ = std::make_unique<hw::Machine>(spec, options_.seed);
   auditor_ = std::make_unique<audit::Auditor>(options_.audit);
 
+  // Resilience knobs propagate into every local scheduler's config: the
+  // estimator lives in the scheduler's timer path, and degraded admission is
+  // a per-CPU decision (docs/RESILIENCE.md).
+  if (options_.resilience.enabled) {
+    options_.sched.estimator = options_.resilience.estimator;
+    options_.sched.estimator.enabled = true;
+    options_.sched.degraded_admission = options_.resilience.degrade_admission;
+    options_.sched.resilience_reserve = options_.resilience.capacity_reserve;
+  }
+
   // Per-CPU capacity available to RT admission; the ledger must agree with
   // the local schedulers on what "full" means.
   const double capacity = options_.sched.utilization_limit -
@@ -36,6 +46,10 @@ System::System(Options options) : options_(std::move(options)) {
   kernel_ = std::make_unique<nk::Kernel>(*machine_, std::move(ko));
   groups_ = std::make_unique<grp::GroupRegistry>(*kernel_);
   global_->attach(kernel_.get(), groups_.get());
+
+  storm_ = std::make_unique<resilience::StormController>(options_.resilience,
+                                                         capacity);
+  storm_->attach(kernel_.get(), global_.get(), auditor_.get());
 }
 
 nk::Thread* System::spawn(std::string name,

@@ -23,6 +23,7 @@
 #include "group/group.hpp"
 #include "hw/machine.hpp"
 #include "nautilus/kernel.hpp"
+#include "resilience/storm.hpp"
 #include "rt/local_scheduler.hpp"
 
 namespace hrt {
@@ -44,6 +45,10 @@ class System {
     /// Global placement subsystem (src/global/, docs/GLOBAL.md).
     /// interrupt_laden_cpus is synced from the option above at construction.
     global::Config placement_config{};
+    /// SMI missing-time resilience (src/resilience/, docs/RESILIENCE.md).
+    /// Off by default; when enabled the estimator knobs are copied into the
+    /// per-CPU scheduler config and the storm controller starts at boot().
+    resilience::Config resilience{};
   };
 
   System();  // Xeon Phi spec, default scheduler config
@@ -52,8 +57,12 @@ class System {
   System(const System&) = delete;
   System& operator=(const System&) = delete;
 
-  /// Boot the kernel (idempotent guard inside the kernel).
-  void boot() { kernel_->boot(); }
+  /// Boot the kernel (idempotent guard inside the kernel) and, when
+  /// resilience is enabled, start the storm controller's sampling loop.
+  void boot() {
+    kernel_->boot();
+    storm_->start();
+  }
 
   [[nodiscard]] hw::Machine& machine() { return *machine_; }
   [[nodiscard]] nk::Kernel& kernel() { return *kernel_; }
@@ -62,6 +71,7 @@ class System {
   [[nodiscard]] const Options& options() const { return options_; }
   [[nodiscard]] audit::Auditor& auditor() { return *auditor_; }
   [[nodiscard]] global::GlobalScheduler& placement() { return *global_; }
+  [[nodiscard]] resilience::StormController& resilience() { return *storm_; }
 
   /// The concrete hard real-time scheduler on `cpu`.
   [[nodiscard]] rt::LocalScheduler& sched(std::uint32_t cpu) {
@@ -124,6 +134,7 @@ class System {
   std::unique_ptr<global::GlobalScheduler> global_;  // ledger precedes kernel_
   std::unique_ptr<nk::Kernel> kernel_;
   std::unique_ptr<grp::GroupRegistry> groups_;
+  std::unique_ptr<resilience::StormController> storm_;  // after kernel_
 };
 
 }  // namespace hrt

@@ -3,6 +3,7 @@
 // robustness of the protocols under them.
 #include <gtest/gtest.h>
 
+#include "audit/replay.hpp"
 #include "bsp/bsp.hpp"
 #include "group/group_admission.hpp"
 #include "runtime/team.hpp"
@@ -73,7 +74,7 @@ TEST(FailureInjection, SmiStormDuringBspBarrierRuns) {
   auto r = bsp::run_bsp(sys, cfg);
   EXPECT_TRUE(r.all_done);
   EXPECT_LE(r.max_write_skew, 1u);  // barriers still correct under SMIs
-  EXPECT_GT(sys.machine().smi().count(), 5u);
+  EXPECT_GT(sys.machine().smi().stats().count, 5u);
 }
 
 TEST(FailureInjection, DeviceStormDuringAdmissionOnLadenCpu) {
@@ -168,6 +169,99 @@ TEST(FailureInjection, WorstCaseSmiAtSliceEndCausesBoundedLateness) {
   if (t->rt.misses == 1) {
     EXPECT_LT(t->rt.miss_ns.max(), sim::micros(45));
   }
+}
+
+// ---------- EDF replay oracle under SMI injection ----------
+//
+// The oracle's tolerances (replay_config_for) include the machine's maximum
+// SMI missing-time, so a trace recorded under live firmware theft must still
+// replay clean: every dispatch EDF-ordered, every miss accounted for.
+
+std::unique_ptr<nk::FnBehavior> replay_worker(rt::Constraints c) {
+  return std::make_unique<nk::FnBehavior>(
+      [c](nk::ThreadCtx&, std::uint64_t step) {
+        if (step == 0) return nk::Action::change_constraints(c);
+        return nk::Action::compute(sim::millis(2));
+      });
+}
+
+void expect_replay_clean(System& sys, const std::vector<nk::Thread*>& threads,
+                         std::uint32_t cpu) {
+  std::vector<audit::ReplayTask> tasks;
+  for (nk::Thread* t : threads) {
+    tasks.push_back({t->id, t->constraints, t->rt.gamma});
+  }
+  const audit::ReplayConfig cfg =
+      audit::replay_config_for(sys.machine().spec());
+  audit::ReplayResult r = audit::replay_edf(sys.machine().trace(), cpu, tasks,
+                                            cfg, sys.engine().now());
+  for (nk::Thread* t : threads) {
+    const std::uint64_t tol = std::max<std::uint64_t>(3, t->rt.arrivals / 50);
+    audit::verify_stats(r, t->id, t->rt.arrivals, t->rt.completions,
+                        t->rt.misses, tol);
+  }
+  for (const auto& d : r.divergences) {
+    ADD_FAILURE() << "t=" << d.time << "ns: " << d.detail;
+  }
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(FailureInjection, ReplayOracleValidatesSmiStormTrace) {
+  System::Options o = base(2);
+  o.spec.smi.enabled = true;
+  o.spec.smi.mean_interval_ns = sim::micros(400);
+  o.spec.smi.min_duration_ns = sim::micros(10);
+  o.spec.smi.mean_duration_ns = sim::micros(20);
+  o.spec.smi.max_duration_ns = sim::micros(40);
+  o.smi_enabled = true;
+  System sys(std::move(o));
+  sys.machine().trace().enable();
+  sys.boot();
+  nk::Thread* a =
+      sys.spawn("a",
+                replay_worker(rt::Constraints::periodic(
+                    sim::millis(1), sim::micros(200), sim::micros(40))),
+                1);
+  nk::Thread* b =
+      sys.spawn("b",
+                replay_worker(rt::Constraints::periodic(
+                    sim::millis(1), sim::micros(500), sim::micros(100))),
+                1);
+  sys.run_for(sim::millis(50));
+  ASSERT_TRUE(a->last_admit_ok);
+  ASSERT_TRUE(b->last_admit_ok);
+  EXPECT_GT(sys.machine().smi().stats().count, 50u);
+  EXPECT_GT(a->rt.arrivals, 200u);
+  expect_replay_clean(sys, {a, b}, 1);
+}
+
+TEST(FailureInjection, ReplayOracleValidatesBurstSmiTrace) {
+  System::Options o = base(2);
+  o.spec.smi.enabled = true;
+  o.spec.smi.mean_interval_ns = sim::millis(2);
+  o.spec.smi.min_duration_ns = sim::micros(10);
+  o.spec.smi.mean_duration_ns = sim::micros(15);
+  o.spec.smi.max_duration_ns = sim::micros(30);
+  o.spec.smi.burst_enabled = true;
+  o.spec.smi.storm_mean_interval_ns = sim::micros(120);
+  o.spec.smi.mean_quiet_ns = sim::millis(4);
+  o.spec.smi.mean_storm_ns = sim::millis(2);
+  o.smi_enabled = true;
+  System sys(std::move(o));
+  sys.machine().trace().enable();
+  sys.boot();
+  nk::Thread* t =
+      sys.spawn("rt",
+                replay_worker(rt::Constraints::periodic(
+                    sim::millis(1), sim::micros(250), sim::micros(60))),
+                1);
+  sys.run_for(sim::millis(60));
+  ASSERT_TRUE(t->last_admit_ok);
+  // The Markov modulation actually cycled through storm states.
+  EXPECT_GT(sys.machine().smi().stats().storm_transitions, 2u);
+  EXPECT_GT(sys.machine().smi().stats().count, 30u);
+  EXPECT_GT(t->rt.arrivals, 150u);
+  expect_replay_clean(sys, {t}, 1);
 }
 
 }  // namespace

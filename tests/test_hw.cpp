@@ -200,7 +200,7 @@ TEST(Smi, DisabledSpecNeverFires) {
   Machine m(spec, 3);
   m.smi().start();
   m.engine().run_until(sim::seconds(1));
-  EXPECT_EQ(m.smi().count(), 0u);
+  EXPECT_EQ(m.smi().stats().count, 0u);
 }
 
 TEST(Smi, RateAndDurationFollowSpec) {
@@ -214,10 +214,12 @@ TEST(Smi, RateAndDurationFollowSpec) {
   m.smi().start();
   m.engine().run_until(sim::seconds(1));
   // ~1000 expected; allow generous tolerance.
-  EXPECT_GT(m.smi().count(), 700u);
-  EXPECT_LT(m.smi().count(), 1400u);
-  const double avg = static_cast<double>(m.smi().total_stolen()) /
-                     static_cast<double>(m.smi().count());
+  const SmiStats st = m.smi().stats();
+  EXPECT_GT(st.count, 700u);
+  EXPECT_LT(st.count, 1400u);
+  EXPECT_EQ(st.forced, 0u);
+  const double avg = static_cast<double>(st.total_stolen_ns) /
+                     static_cast<double>(st.count);
   EXPECT_GT(avg, 5000.0);
   EXPECT_LT(avg, 20000.0);
 }

@@ -40,7 +40,7 @@ TEST(Determinism, SameSeedSameTrajectory) {
     sys.run_for(sim::millis(50));
     return std::tuple{t->rt.arrivals, t->rt.misses, t->total_cpu_ns,
                       sys.engine().events_executed(),
-                      sys.machine().smi().count()};
+                      sys.machine().smi().stats().count};
   };
   EXPECT_EQ(run(12345), run(12345));
   EXPECT_NE(std::get<3>(run(1)), std::get<3>(run(2)));
@@ -112,7 +112,7 @@ TEST(Invariant, SurvivesExtremeSmiStorm) {
   nk::Thread* t = spawn_periodic(sys, 1, sim::millis(1), sim::micros(300));
   sys.run_for(sim::millis(500));
   ASSERT_TRUE(t->last_admit_ok);
-  EXPECT_GT(sys.machine().smi().count(), 1000u);
+  EXPECT_GT(sys.machine().smi().stats().count, 1000u);
   // Eager scheduling keeps the miss rate tiny even under this storm.
   EXPECT_LT(static_cast<double>(t->rt.misses),
             0.01 * static_cast<double>(t->rt.arrivals) + 1.0);
@@ -190,7 +190,7 @@ TEST(GroupsUnderFire, LockstepSurvivesSmis) {
   // SMIs are machine-wide (all CPUs freeze together), so they do not break
   // lockstep; the skew bound holds.
   EXPECT_LE(r.max_write_skew, 2u);
-  EXPECT_GT(sys.machine().smi().count(), 0u);
+  EXPECT_GT(sys.machine().smi().stats().count, 0u);
 }
 
 TEST(GroupsUnderFire, SequentialGroupsOnSameSystem) {
