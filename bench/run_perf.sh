@@ -12,6 +12,10 @@
 #   BENCH_smi_resilience.json — ablate_smi_resilience: missing-time estimator
 #                          accuracy vs SmiSource ground truth + storm-shedding
 #                          A/B (baseline misses, resilient post-shed zero)
+#   BENCH_telemetry.json — ablate_telemetry_overhead: flight-recorder A/B
+#                          (zero added misses with telemetry on) + record
+#                          cost vs pass span; this script fails if the
+#                          overhead fraction reaches 2% (docs/OBSERVABILITY.md)
 #   BENCH_figures.json   — wall time + shape-check results per figure binary
 #
 # The committed PR-over-PR snapshots live in bench/snapshots/; refresh them
@@ -46,6 +50,21 @@ echo "== ablate_placement -> BENCH_placement.json"
 echo "== ablate_smi_resilience -> BENCH_smi_resilience.json"
 "$BIN/ablate_smi_resilience" $MODE_FLAG --json=BENCH_smi_resilience.json
 
+echo "== ablate_telemetry_overhead -> BENCH_telemetry.json"
+"$BIN/ablate_telemetry_overhead" $MODE_FLAG --json=BENCH_telemetry.json
+# Hard gate: the recorder's amortized cost must stay under 2% of the mean
+# scheduler pass span (docs/OBSERVABILITY.md).
+awk '
+  match($0, /"overhead_fraction": [0-9.eE+-]+/) {
+    frac = substr($0, RSTART + 21, RLENGTH - 21) + 0
+    if (frac >= 0.02) {
+      printf "error: telemetry overhead %.4f >= 0.02 of mean pass span\n", frac
+      exit 1
+    }
+    printf "telemetry overhead %.4f of mean pass span (< 0.02)\n", frac
+  }
+' BENCH_telemetry.json
+
 FIGURES="fig03_tsc_sync fig04_scope_trace fig05_overheads fig06_missrate_phi \
 fig07_missrate_r415 fig08_misstime_phi fig09_misstime_r415 \
 fig10_group_admission fig11_group_sync8 fig12_group_sync_scale \
@@ -75,4 +94,4 @@ echo "== figure sweep -> BENCH_figures.json ($MODE mode)"
   printf ']}\n'
 } > BENCH_figures.json
 
-echo "wrote BENCH_engine.json BENCH_placement.json BENCH_smi_resilience.json BENCH_figures.json"
+echo "wrote BENCH_engine.json BENCH_placement.json BENCH_smi_resilience.json BENCH_telemetry.json BENCH_figures.json"

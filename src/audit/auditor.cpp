@@ -26,6 +26,8 @@ const char* invariant_name(Invariant inv) {
       return "shed-state";
     case Invariant::kEffectiveCapacity:
       return "effective-capacity";
+    case Invariant::kSloBudget:
+      return "slo-budget";
   }
   return "?";
 }

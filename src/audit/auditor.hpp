@@ -37,6 +37,9 @@
 //   * effective-capacity: the per-CPU capacity published to the placement
 //     ledger equals the controller's degraded value (base - missing-time
 //     EWMA - reserve) and never exceeds the configured base capacity.
+//   * slo-budget: a declared telemetry SLO (telemetry/slo.hpp) burned its
+//     deadline-miss budget — the windowed miss fraction reached the budget
+//     while the monitor had enough samples to trust the estimate.
 //
 // Compile with -DHRT_FORCE_AUDIT=1 (CMake option HRT_FORCE_AUDIT) to force
 // every Auditor into enabled+throwing mode regardless of runtime config;
@@ -65,6 +68,7 @@ enum class Invariant : std::uint8_t {
   kMigration,
   kShedState,
   kEffectiveCapacity,
+  kSloBudget,
 };
 
 [[nodiscard]] const char* invariant_name(Invariant inv);
@@ -102,6 +106,7 @@ struct Config {
   bool check_migration = true;
   bool check_shed_state = true;
   bool check_effective_capacity = true;
+  bool check_slo = true;
   /// Violations recorded verbatim; beyond this only the counter grows.
   std::size_t max_recorded = 64;
   /// Extra tolerance for the budget-conservation check, on top of the
@@ -142,7 +147,7 @@ class Auditor {
   std::vector<Violation> violations_;
   std::uint64_t total_violations_ = 0;
   std::uint64_t checks_run_ = 0;
-  std::uint64_t per_invariant_[11] = {};
+  std::uint64_t per_invariant_[12] = {};
 };
 
 }  // namespace hrt::audit

@@ -4,7 +4,10 @@
 #include <utility>
 
 #include "nautilus/behavior.hpp"
+#include "nautilus/kernel.hpp"
 #include "nautilus/thread.hpp"
+#include "rt/local_scheduler.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hrt::global {
 
@@ -103,6 +106,20 @@ SplitPlan GlobalScheduler::plan_split(const rt::Constraints& c,
   std::vector<double> headroom(n);
   for (std::uint32_t i = 0; i < n; ++i) headroom[i] = ledger_.headroom(i);
 
+  // Resilience follow-up (docs/RESILIENCE.md): chunk sizing must respect
+  // what each CPU can actually deliver, not just what the ledger says is
+  // uncommitted.  The windowed *peak* missing-time fraction is the right
+  // degradation here — a split plan is a long-lived commitment, so it must
+  // survive the worst recent window, not the average.
+  if (kernel_ != nullptr && cfg_.split_degrade_missing_time) {
+    for (std::uint32_t i = 0; i < n && i < kernel_->num_cpus(); ++i) {
+      auto* ls = dynamic_cast<rt::LocalScheduler*>(&kernel_->scheduler(i));
+      if (ls == nullptr) continue;
+      headroom[i] -= ls->missing_time().windowed_max_fraction();
+      if (headroom[i] < 0.0) headroom[i] = 0.0;
+    }
+  }
+
   SplitPlan plan;
   const bool steer = cfg_.policy == Policy::kTopology &&
                      cfg_.steer_rt_interrupt_free &&
@@ -120,6 +137,13 @@ SplitPlan GlobalScheduler::plan_split(const rt::Constraints& c,
   if (plan.ok) {
     ++stats_.split_plans;
     stats_.split_chunks += plan.chunks.size();
+    if (kernel_ != nullptr && kernel_->telemetry() != nullptr) {
+      kernel_->telemetry()->on_event(
+          plan.chunks.front().cpu,
+          kernel_->machine().cpu(0).tsc().wall_ns(),
+          telemetry::EventKind::kSplitPlan, 0,
+          static_cast<std::int64_t>(plan.chunks.size()));
+    }
   }
   return plan;
 }

@@ -50,6 +50,7 @@ class GlobalScheduler {
 
   /// Late wiring; the kernel and registry outlive this object's uses.
   void attach(nk::Kernel* kernel, grp::GroupRegistry* groups) {
+    kernel_ = kernel;
     rebalancer_.attach(kernel, groups);
   }
 
@@ -100,6 +101,7 @@ class GlobalScheduler {
   UtilizationLedger ledger_;
   PlacementEngine engine_;
   Rebalancer rebalancer_;
+  nk::Kernel* kernel_ = nullptr;  // set by attach(); null in offline tests
   Stats stats_;
 };
 

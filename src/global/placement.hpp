@@ -57,6 +57,11 @@ struct Config {
   /// slice a chunk may be given (mirrors LocalScheduler::Config::min_slice).
   std::uint32_t max_split_chunks = 8;
   sim::Nanos min_split_slice = sim::micros(10);
+  /// Degrade each CPU's split headroom by its scheduler's windowed peak
+  /// missing-time fraction (docs/RESILIENCE.md): a chunk sized to the
+  /// ledger's headroom on an SMI-hit CPU would overcommit the capacity the
+  /// CPU can actually deliver.  No-op while the estimator reads zero.
+  bool split_degrade_missing_time = true;
   /// Rebalancer knobs (rebalancer.hpp).
   double rebalance_threshold = 0.25;  // act when max-min committed gap >= this
   std::uint32_t admit_retries = 3;    // auto-admit attempts before giving up

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "audit/auditor.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hrt::grp {
 
@@ -38,8 +39,21 @@ nk::Action GroupBarrier::scan_action() {
 
 nk::Action GroupBarrier::arrive_action() {
   return nk::Action::atomic(&line_, atomic_ns_, [this](nk::ThreadCtx& ctx) {
-    if (++arrivals_ == expected_) {
+    const bool released = ++arrivals_ == expected_;
+    if (released) {
       flag_.set();
+    }
+    if (auto* tel = kernel_.telemetry()) {
+      tel->on_event(ctx.self.cpu, ctx.wall_now,
+                    telemetry::EventKind::kBarrierArrive,
+                    static_cast<std::uint32_t>(ctx.self.id),
+                    static_cast<std::int64_t>(arrivals_));
+      if (released) {
+        tel->on_event(ctx.self.cpu, ctx.wall_now,
+                      telemetry::EventKind::kBarrierRelease,
+                      static_cast<std::uint32_t>(ctx.self.id),
+                      static_cast<std::int64_t>(arrivals_));
+      }
     }
     audit::Auditor* aud = kernel_.auditor();
     if (aud != nullptr && aud->enabled() && aud->config().check_group) {

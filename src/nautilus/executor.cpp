@@ -6,6 +6,7 @@
 #include "nautilus/behavior.hpp"
 #include "nautilus/kernel.hpp"
 #include "nautilus/sync.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hrt::nk {
 
@@ -97,6 +98,7 @@ void CpuExecutor::deliver(hw::Vector v) {
   if (v == hw::kTimerVector) {
     begin_sched_handler(PassReason::kTimer);
   } else if (v == hw::kKickVector) {
+    if (auto* tel = kernel_.telemetry()) tel->on_kick(cpu_id_, now);
     begin_sched_handler(PassReason::kKick);
   } else {
     begin_device_handler(v);
@@ -140,6 +142,10 @@ void CpuExecutor::begin_sched_handler(PassReason reason) {
   if (sw) overheads_.swtch.add(static_cast<double>(f.ns_to_cycles(sw_ns)));
   ++overheads_.passes;
   if (sw) ++overheads_.switches;
+  if (auto* tel = kernel_.telemetry()) {
+    tel->on_pass_span(cpu_id_,
+                      static_cast<double>(irq_ns + pass_ns + other_ns + sw_ns));
+  }
   machine_.trace().record(now, cpu_id_, sim::TraceKind::kSchedPass,
                           static_cast<std::int64_t>(pass_seq_++));
 
@@ -250,6 +256,9 @@ void CpuExecutor::do_switch(Thread* next) {
   machine_.trace().record(now, cpu_id_, sim::TraceKind::kSwitch, next->id);
   machine_.trace().record(now, cpu_id_, sim::TraceKind::kThreadActive,
                           next->id);
+  if (auto* tel = kernel_.telemetry()) {
+    tel->on_switch(cpu_id_, now, static_cast<std::uint32_t>(next->id));
+  }
   if (scope.enabled && scope.cpu == cpu_id_ && scope.watch_thread == next) {
     machine_.gpio().set_pin(now, cpu_id_, kPinThread, true);
   }
@@ -425,6 +434,10 @@ void CpuExecutor::begin_sched_call() {
   if (sw) overheads_.swtch.add(static_cast<double>(f.ns_to_cycles(sw_ns)));
   ++overheads_.passes;
   if (sw) ++overheads_.switches;
+  if (auto* tel = kernel_.telemetry()) {
+    tel->on_pass_span(cpu_id_,
+                      static_cast<double>(pass_ns + other_ns + sw_ns));
+  }
 
   mode_ = Mode::kSchedCall;
   const sim::Nanos total = extra + pass_ns + other_ns + sw_ns + pr.task_ns;

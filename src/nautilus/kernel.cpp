@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "telemetry/telemetry.hpp"
+
 namespace hrt::nk {
 
 namespace {
@@ -255,6 +257,7 @@ bool Kernel::migrate_aperiodic(Thread* t, std::uint32_t to) {
   const bool sleeping = t->state == Thread::State::kSleeping;
   if (!sleeping && t->state != Thread::State::kReady) return false;
   if (!schedulers_[t->cpu]->detach_for_migration(*t)) return false;
+  const std::uint32_t from = t->cpu;
   t->cpu = to;
   place_thread_state(t);  // stack/TCB follow the thread into the new zone
   if (sleeping) {
@@ -265,6 +268,11 @@ bool Kernel::migrate_aperiodic(Thread* t, std::uint32_t to) {
     schedulers_[to]->enqueue(t);
   }
   ++aperiodic_migrations_;
+  if (auto* tel = telemetry()) {
+    tel->on_migration(to, machine_.cpu(to).tsc().wall_ns(),
+                      static_cast<std::uint32_t>(t->id),
+                      telemetry::EventKind::kAperiodicMigrate, from);
+  }
   machine_.send_ipi(t->cpu, to, hw::kKickVector);
   return true;
 }

@@ -34,6 +34,10 @@ namespace hrt::global {
 class UtilizationLedger;
 }
 
+namespace hrt::telemetry {
+class Telemetry;
+}
+
 namespace hrt::nk {
 
 class Kernel {
@@ -63,6 +67,10 @@ class Kernel {
     /// (global/ledger.hpp), fed by the local schedulers' admission and
     /// detach events; owned by the caller, null disables the feed.
     global::UtilizationLedger* placement_ledger = nullptr;
+    /// Telemetry hub (telemetry/telemetry.hpp): flight recorder, metrics,
+    /// SLO monitor.  Owned by the caller (typically rt::System); null
+    /// disables all instrumentation at the cost of one pointer test.
+    telemetry::Telemetry* telemetry = nullptr;
   };
 
   /// Per-CPU GPIO instrumentation for the external-scope experiment
@@ -120,6 +128,9 @@ class Kernel {
     return calibration_;
   }
   [[nodiscard]] audit::Auditor* auditor() const { return options_.auditor; }
+  [[nodiscard]] telemetry::Telemetry* telemetry() const {
+    return options_.telemetry;
+  }
 
   /// Submit a lightweight task to a CPU's scheduler.
   void submit_task(std::uint32_t cpu, Task task);

@@ -10,6 +10,7 @@
 #include "nautilus/kernel.hpp"
 #include "nautilus/thread.hpp"
 #include "rt/local_scheduler.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hrt::resilience {
 
@@ -79,6 +80,30 @@ rt::LocalScheduler* StormController::sched(std::uint32_t cpu) const {
 void StormController::log(Transition::Kind k, std::uint32_t cpu, sim::Nanos t,
                           std::uint32_t thread_id, double util) {
   transitions_.push_back(Transition{k, cpu, t, thread_id, util});
+  telemetry::Telemetry* tel =
+      kernel_ != nullptr ? kernel_->telemetry() : nullptr;
+  if (tel != nullptr) {
+    telemetry::EventKind ek = telemetry::EventKind::kCustom;
+    switch (k) {
+      case Transition::Kind::kStormEnter:
+        ek = telemetry::EventKind::kStormEnter;
+        break;
+      case Transition::Kind::kStormExit:
+        ek = telemetry::EventKind::kStormExit;
+        break;
+      case Transition::Kind::kDrain:
+        ek = telemetry::EventKind::kDrain;
+        break;
+      case Transition::Kind::kShed:
+        ek = telemetry::EventKind::kShed;
+        break;
+      case Transition::Kind::kRestore:
+        ek = telemetry::EventKind::kRestore;
+        break;
+    }
+    tel->on_event(cpu, t, ek, thread_id,
+                  static_cast<std::int64_t>(util * 1e6));
+  }
 }
 
 StormController::ShedRecord* StormController::find_record(const nk::Thread* t,
@@ -123,6 +148,9 @@ void StormController::sample() {
       eff = std::clamp(eff, 0.0, base_capacity_);
       cpus_[c].published = eff;
       ledger.set_capacity(c, eff);
+      if (auto* tel = kernel_->telemetry()) {
+        tel->set_effective_capacity(c, eff);
+      }
     }
     storm_flags_[c] = cpus_[c].storm ? 1 : 0;
   }

@@ -9,6 +9,7 @@
 #include "global/ledger.hpp"
 #include "nautilus/executor.hpp"
 #include "nautilus/kernel.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hrt::rt {
 
@@ -30,6 +31,7 @@ LocalScheduler::LocalScheduler(nk::Kernel& kernel, std::uint32_t cpu,
       slop_(kernel.machine().spec().timer.apic_tick_ns + 1),
       auditor_(kernel.auditor()),
       ledger_(kernel.options().placement_ledger),
+      telemetry_(kernel.options().telemetry),
       pending_(cfg.max_threads),
       rt_run_(cfg.max_threads),
       nonrt_(cfg.max_threads),
@@ -72,15 +74,26 @@ void LocalScheduler::close_arrival(nk::Thread* t, sim::Nanos now) {
     ++t->rt.misses;
     t->rt.miss_ns.add(static_cast<double>(now - t->rt.deadline));
   }
+  if (telemetry_ != nullptr) {
+    telemetry_->on_completion(cpu_, now, static_cast<std::uint32_t>(t->id),
+                              t->name, now - t->rt.deadline);
+  }
   if (t->constraints.cls == ConstraintClass::kPeriodic) {
     // Next arrival is the current deadline; windows that already fully
     // elapsed while we were serving this one late are skipped and counted
     // as misses.
     sim::Nanos next_arrival = t->rt.deadline;
+    std::uint64_t skipped = 0;
     while (next_arrival + t->constraints.period <= now + slop_) {
       ++t->rt.arrivals;
       ++t->rt.misses;
+      ++skipped;
       next_arrival += t->constraints.period;
+    }
+    if (skipped != 0 && telemetry_ != nullptr) {
+      telemetry_->on_skipped_windows(cpu_, now,
+                                     static_cast<std::uint32_t>(t->id),
+                                     t->name, skipped);
     }
     t->rt.arrival = next_arrival;
     t->rt.in_pending = true;
@@ -217,6 +230,9 @@ nk::PassResult LocalScheduler::pass(nk::PassReason reason, sim::Nanos now) {
   ++stats_.passes;
   if (reason == nk::PassReason::kTimer) ++stats_.timer_passes;
   if (reason == nk::PassReason::kKick) ++stats_.kick_passes;
+  if (telemetry_ != nullptr) {
+    telemetry_->on_pass(cpu_, now, static_cast<int>(reason));
+  }
 
   // Missing-time estimation (section 3.6, docs/RESILIENCE.md): a machine
   // freeze covering a pending timer fire delays its delivery; the lateness
@@ -396,6 +412,7 @@ void LocalScheduler::arm_timer(sim::Nanos now) {
   }
   expected_fire_ = now + delay;
   armed_delay_ = delay;
+  if (telemetry_ != nullptr) telemetry_->on_timer_arm(cpu_, now, delay);
   apic.arm_oneshot(delay);
 }
 
@@ -477,7 +494,13 @@ std::vector<PeriodicTask> LocalScheduler::periodic_tasks_with(
 
 bool LocalScheduler::reserve_constraints(nk::Thread& t, const Constraints& c) {
   cancel_reservation(t);
-  if (!c.well_formed() || !admit_check(t, c)) {
+  const bool ok = c.well_formed() && admit_check(t, c);
+  if (telemetry_ != nullptr) {
+    telemetry_->on_admit(cpu_, kernel_.machine().cpu(cpu_).tsc().wall_ns(),
+                         static_cast<std::uint32_t>(t.id), ok,
+                         c.utilization());
+  }
+  if (!ok) {
     ++stats_.admissions_rejected;
     return false;
   }
@@ -539,9 +562,17 @@ bool LocalScheduler::change_constraints(nk::Thread& t, const Constraints& c,
   cancel_reservation(t);
   if (!c.well_formed() || !admit_check(t, c)) {
     ++stats_.admissions_rejected;
+    if (telemetry_ != nullptr) {
+      telemetry_->on_admit(cpu_, gamma, static_cast<std::uint32_t>(t.id),
+                           false, c.utilization());
+    }
     return false;
   }
   ++stats_.admissions_ok;
+  if (telemetry_ != nullptr) {
+    telemetry_->on_admit(cpu_, gamma, static_cast<std::uint32_t>(t.id), true,
+                         c.utilization());
+  }
   // A sleeping thread keeps sleeping across a class change: detaching pulls
   // it out of sleepers_, so it must be re-queued there (aperiodic) or left
   // to wake into its first arrival (RT classes pass through pending_, whose
@@ -707,6 +738,11 @@ bool LocalScheduler::request_migration(nk::Thread& t, std::uint32_t to) {
   if (!target->reserve_constraints(t, t.constraints)) return false;
   t.migrate_to = to;
   ++stats_.migrations_requested;
+  if (telemetry_ != nullptr) {
+    telemetry_->on_migration(cpu_, kernel_.machine().cpu(cpu_).tsc().wall_ns(),
+                             static_cast<std::uint32_t>(t.id),
+                             telemetry::EventKind::kMigrateRequest, to);
+  }
   // Parked between arrivals and not current: hand off immediately.  In every
   // other case pass() completes the migration at the next arrival close.
   nk::Thread* cur = exec_ != nullptr ? exec_->current() : nullptr;
@@ -738,6 +774,12 @@ void LocalScheduler::complete_migration(nk::Thread& t, sim::Nanos now) {
   if (ok) {
     ++stats_.migrations_out;
     ++target->stats_.migrations_in;
+    if (telemetry_ != nullptr) {
+      telemetry_->on_migration(cpu_, now, static_cast<std::uint32_t>(t.id),
+                               telemetry::EventKind::kMigrateOut, to);
+      telemetry_->on_migration(to, now, static_cast<std::uint32_t>(t.id),
+                               telemetry::EventKind::kMigrateIn, cpu_);
+    }
     kernel_.machine().send_ipi(cpu_, to, hw::kKickVector);
   } else {
     // The reservation held the target utilization, so this should never

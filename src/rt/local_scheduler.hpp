@@ -40,6 +40,10 @@ namespace hrt::global {
 class UtilizationLedger;
 }
 
+namespace hrt::telemetry {
+class Telemetry;
+}
+
 namespace hrt::rt {
 
 enum class AdmissionPolicy : std::uint8_t {
@@ -240,6 +244,7 @@ class LocalScheduler final : public nk::SchedulerBase {
   sim::Nanos slop_;  // timer earliness tolerance (one APIC tick)
   audit::Auditor* auditor_ = nullptr;  // owned by System; may be null
   global::UtilizationLedger* ledger_ = nullptr;  // placement ledger; may be null
+  telemetry::Telemetry* telemetry_ = nullptr;    // flight recorder; may be null
   sim::Nanos budget_audit_slop_ = 0;   // tolerance for the budget invariant
   std::uint32_t zero_arm_streak_ = 0;  // consecutive zero-delay one-shots
 

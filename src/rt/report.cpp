@@ -1,6 +1,7 @@
 #include "rt/report.hpp"
 
 #include <iomanip>
+#include <vector>
 
 namespace hrt::rt {
 
@@ -38,8 +39,14 @@ const char* state_name(nk::Thread::State s) {
 
 void print_cpu_report(System& sys, std::ostream& os,
                       const ReportOptions& opt) {
-  os << "cpu   passes  timer   kick  switch  adm-ok adm-rej  util   "
-        "pend rtq  apq  pass-cyc\n";
+  // Per-CPU deadline misses, aggregated from the live thread table (cheap,
+  // and available whether or not telemetry is enabled).
+  std::vector<std::uint64_t> misses(sys.kernel().num_cpus(), 0);
+  for (const nk::Thread* t : sys.kernel().live_threads()) {
+    if (t->cpu < misses.size()) misses[t->cpu] += t->rt.misses;
+  }
+  os << "cpu   passes  timer   kick  switch  adm-ok adm-rej  util eff-cap "
+        "  miss   pend rtq  apq  pass-cyc\n";
   for (std::uint32_t c = 0; c < sys.kernel().num_cpus(); ++c) {
     auto& sched = sys.sched(c);
     const auto& st = sched.stats();
@@ -49,7 +56,8 @@ void print_cpu_report(System& sys, std::ostream& os,
        << st.timer_passes << std::setw(7) << st.kick_passes << std::setw(8)
        << oh.switches << std::setw(8) << st.admissions_ok << std::setw(8)
        << st.admissions_rejected << std::setw(7) << std::fixed
-       << std::setprecision(2) << sched.admitted_utilization()
+       << std::setprecision(2) << sched.admitted_utilization() << std::setw(8)
+       << sched.effective_rt_availability() << std::setw(7) << misses[c]
        << std::setw(6) << sched.pending_count() << std::setw(5)
        << sched.rt_run_count() << std::setw(5) << sched.nonrt_count()
        << std::setw(10) << std::setprecision(0) << oh.pass.mean() << "\n";
@@ -58,8 +66,11 @@ void print_cpu_report(System& sys, std::ostream& os,
 
 void print_thread_report(System& sys, std::ostream& os,
                          const ReportOptions& opt) {
+  const bool tel_on = sys.telemetry().enabled();
   os << "id    name           cpu class      state     arriv   compl  "
-        "miss     cpu-ms  disp\n";
+        "miss     cpu-ms  disp";
+  if (tel_on) os << "  slo-burn";
+  os << "\n";
   sys.sync_accounting();
   for (const nk::Thread* t : sys.kernel().live_threads()) {
     if (t->is_idle && !opt.include_idle_threads) continue;
@@ -74,7 +85,17 @@ void print_thread_report(System& sys, std::ostream& os,
        << t->rt.arrivals << std::setw(8) << t->rt.completions << std::setw(6)
        << t->rt.misses << std::setw(11) << std::fixed << std::setprecision(3)
        << static_cast<double>(t->total_cpu_ns) / 1e6 << std::setw(6)
-       << t->dispatches << "\n";
+       << t->dispatches;
+    if (tel_on) {
+      const auto burn =
+          sys.telemetry().slo().burn_rate_for(t->name, sys.engine().now());
+      if (burn.has_value()) {
+        os << std::setw(10) << std::fixed << std::setprecision(2) << *burn;
+      } else {
+        os << std::setw(10) << "-";
+      }
+    }
+    os << "\n";
   }
 }
 
@@ -92,6 +113,42 @@ void print_audit_report(System& sys, std::ostream& os) {
   if (dropped > 0) os << "  (+" << dropped << " more not recorded)\n";
 }
 
+void print_telemetry_report(System& sys, std::ostream& os) {
+  telemetry::Telemetry& tel = sys.telemetry();
+  if (!tel.enabled()) return;
+  const telemetry::FlightRecorder& rec = tel.recorder();
+  os << "telemetry: " << rec.written() << " events recorded, " << rec.dropped()
+     << " dropped";
+  if (rec.sampled_cost_ns().count() > 0) {
+    os << ", ~" << std::fixed << std::setprecision(0)
+       << rec.sampled_cost_ns().mean() << " host-ns/record";
+  }
+  os << "\n";
+  os << "cpu   passes switch   kick  tm-arm  compl  miss mig-in mig-out "
+        "shed  span-ns eff-cap\n";
+  for (std::uint32_t c = 0; c < tel.metrics().num_cpus(); ++c) {
+    const telemetry::CpuMetrics& m = tel.metrics().cpu(c);
+    if (m.passes == 0 && m.completions == 0) continue;
+    os << std::setw(3) << c << std::setw(9) << m.passes << std::setw(7)
+       << m.switches << std::setw(7) << m.kicks << std::setw(8) << m.timer_arms
+       << std::setw(7) << m.completions << std::setw(6) << m.misses
+       << std::setw(7) << m.migrations_in << std::setw(8) << m.migrations_out
+       << std::setw(5) << m.sheds << std::setw(9) << std::fixed
+       << std::setprecision(0) << m.pass_span_ns.mean() << std::setw(8)
+       << std::setprecision(2) << m.effective_capacity << "\n";
+  }
+  if (tel.slo().size() > 0) {
+    os << "slo            compl   miss  burn  state  alerts\n";
+    for (const telemetry::SloStatus& st : tel.slo().status(sys.engine().now())) {
+      os << std::setw(13) << std::left << st.spec->name << std::right
+         << std::setw(8) << st.completions << std::setw(7) << st.misses
+         << std::setw(6) << std::fixed << std::setprecision(2) << st.burn_rate
+         << std::setw(7) << (st.alerting ? "ALERT" : "ok") << std::setw(8)
+         << st.alerts << "\n";
+    }
+  }
+}
+
 void print_report(System& sys, std::ostream& os, const ReportOptions& opt) {
   os << "=== machine: " << sys.machine().spec().name << ", "
      << sys.machine().num_cpus() << " CPUs @ " << std::fixed
@@ -107,6 +164,10 @@ void print_report(System& sys, std::ostream& os, const ReportOptions& opt) {
   if (sys.auditor().enabled()) {
     os << "\n";
     print_audit_report(sys, os);
+  }
+  if (sys.telemetry().enabled()) {
+    os << "\n";
+    print_telemetry_report(sys, os);
   }
 }
 

@@ -31,8 +31,14 @@ void print_thread_report(System& sys, std::ostream& os,
 /// per recorded violation.  Prints nothing when audits are disabled.
 void print_audit_report(System& sys, std::ostream& os);
 
-/// Both, plus machine-level counters (SMIs, events) and — when audits are
-/// enabled — the audit summary.
+/// Telemetry summary (docs/OBSERVABILITY.md): per-CPU event counters and
+/// pass spans from the metrics registry, recorder accounting, and one line
+/// per declared SLO with its windowed burn rate.  Prints nothing when the
+/// telemetry subsystem is disabled.
+void print_telemetry_report(System& sys, std::ostream& os);
+
+/// Both, plus machine-level counters (SMIs, events) and — when enabled —
+/// the audit and telemetry summaries.
 void print_report(System& sys, std::ostream& os,
                   const ReportOptions& opt = {});
 

@@ -13,6 +13,9 @@ System::System(Options options) : options_(std::move(options)) {
   if (!options_.smi_enabled) spec.smi.enabled = false;
   machine_ = std::make_unique<hw::Machine>(spec, options_.seed);
   auditor_ = std::make_unique<audit::Auditor>(options_.audit);
+  telemetry_ = std::make_unique<telemetry::Telemetry>(machine_->num_cpus(),
+                                                      options_.telemetry);
+  if (telemetry_->enabled()) telemetry_->attach_auditor(auditor_.get());
 
   // Resilience knobs propagate into every local scheduler's config: the
   // estimator lives in the scheduler's timer path, and degraded admission is
@@ -37,6 +40,7 @@ System::System(Options options) : options_(std::move(options)) {
   nk::Kernel::Options ko;
   ko.auditor = auditor_.get();
   ko.placement_ledger = &global_->ledger();
+  ko.telemetry = telemetry_->enabled() ? telemetry_.get() : nullptr;
   ko.scheduler_factory = rt::make_scheduler_factory(options_.sched);
   ko.work_stealing = options_.work_stealing;
   ko.interrupt_laden_cpus = options_.interrupt_laden_cpus;
@@ -50,6 +54,14 @@ System::System(Options options) : options_(std::move(options)) {
   storm_ = std::make_unique<resilience::StormController>(options_.resilience,
                                                          capacity);
   storm_->attach(kernel_.get(), global_.get(), auditor_.get());
+
+  // Seed the effective-capacity gauges with the undegraded base; the storm
+  // controller overwrites them as it publishes degradations.
+  if (telemetry_->enabled()) {
+    for (std::uint32_t c = 0; c < machine_->num_cpus(); ++c) {
+      telemetry_->set_effective_capacity(c, capacity);
+    }
+  }
 }
 
 nk::Thread* System::spawn(std::string name,

@@ -25,6 +25,7 @@
 #include "nautilus/kernel.hpp"
 #include "resilience/storm.hpp"
 #include "rt/local_scheduler.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hrt {
 
@@ -49,6 +50,11 @@ class System {
     /// Off by default; when enabled the estimator knobs are copied into the
     /// per-CPU scheduler config and the storm controller starts at boot().
     resilience::Config resilience{};
+    /// Telemetry flight recorder + metrics + SLO observability
+    /// (src/telemetry/, docs/OBSERVABILITY.md).  Off by default: the kernel
+    /// carries a null pointer and scheduling is bit-identical to a build
+    /// without the subsystem.
+    telemetry::Config telemetry{};
   };
 
   System();  // Xeon Phi spec, default scheduler config
@@ -72,6 +78,10 @@ class System {
   [[nodiscard]] audit::Auditor& auditor() { return *auditor_; }
   [[nodiscard]] global::GlobalScheduler& placement() { return *global_; }
   [[nodiscard]] resilience::StormController& resilience() { return *storm_; }
+  [[nodiscard]] telemetry::Telemetry& telemetry() { return *telemetry_; }
+  [[nodiscard]] const telemetry::Telemetry& telemetry() const {
+    return *telemetry_;
+  }
 
   /// The concrete hard real-time scheduler on `cpu`.
   [[nodiscard]] rt::LocalScheduler& sched(std::uint32_t cpu) {
@@ -131,6 +141,7 @@ class System {
   Options options_;
   std::unique_ptr<hw::Machine> machine_;
   std::unique_ptr<audit::Auditor> auditor_;  // before kernel_: schedulers use it
+  std::unique_ptr<telemetry::Telemetry> telemetry_;  // before kernel_ too
   std::unique_ptr<global::GlobalScheduler> global_;  // ledger precedes kernel_
   std::unique_ptr<nk::Kernel> kernel_;
   std::unique_ptr<grp::GroupRegistry> groups_;

@@ -44,6 +44,29 @@ class Histogram {
   }
   [[nodiscard]] double bin_hi(std::size_t i) const { return bin_lo(i + 1); }
 
+  /// q in [0, 1]: quantile by cumulative walk with linear interpolation
+  /// inside the winning bin.  Underflow samples resolve to lo_ and overflow
+  /// samples to hi_ (the histogram does not retain their exact values), so
+  /// tail quantiles are clamped to the covered range.
+  [[nodiscard]] double quantile(double q) const {
+    if (total_ == 0) return lo_;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    const double rank = q * static_cast<double>(total_ - 1);
+    double cum = static_cast<double>(underflow_);
+    if (rank < cum) return lo_;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      const double c = static_cast<double>(counts_[i]);
+      if (c == 0.0) continue;
+      if (rank < cum + c) {
+        const double frac = (rank - cum + 0.5) / c;
+        return bin_lo(i) + frac * (bin_hi(i) - bin_lo(i));
+      }
+      cum += c;
+    }
+    return hi_;
+  }
+
   /// Render as an ASCII bar chart, one bin per row.
   void print(std::ostream& os, const std::string& unit,
              int bar_width = 50) const {

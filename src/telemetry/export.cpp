@@ -1,0 +1,331 @@
+#include "telemetry/export.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <string>
+
+#include "sim/trace.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace hrt::telemetry {
+
+namespace {
+
+void json_escape(std::ostream& os, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+/// Chrome ts is in microseconds; keep 3 decimals so distinct ns timestamps
+/// stay distinct (exact value rides in args.t).
+void write_ts_us(std::ostream& os, sim::Nanos t) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%lld.%03lld",
+                static_cast<long long>(t / 1000),
+                static_cast<long long>(t % 1000));
+  os << buf;
+}
+
+void write_instant(std::ostream& os, const Record& r, bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  os << R"(    {"name":")" << event_kind_name(r.kind) << R"(","ph":"i","ts":)";
+  write_ts_us(os, r.time);
+  os << R"(,"pid":)" << (r.cpu + 1) << R"(,"tid":)" << r.tid
+     << R"(,"s":"t","args":{"t":)" << r.time << R"(,"arg":)" << r.arg
+     << R"(,"gen":)" << static_cast<int>(r.gen) << "}}";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const std::vector<Record>& events,
+                        const ChromeTraceOptions& opts, const Telemetry* tel) {
+  os << "{\n  \"traceEvents\": [\n";
+  bool first = true;
+  for (const Record& r : events) write_instant(os, r, first);
+
+  if (opts.run_spans) {
+    // Derive "X" run spans per CPU from consecutive switch records: thread T
+    // runs from its dispatch until the next dispatch on that CPU.
+    const std::uint32_t max_cpu = [&] {
+      std::uint32_t m = 0;
+      for (const Record& r : events) m = std::max<std::uint32_t>(m, r.cpu);
+      return m;
+    }();
+    for (std::uint32_t cpu = 0; cpu <= max_cpu; ++cpu) {
+      const Record* open = nullptr;
+      for (const Record& r : events) {
+        if (r.cpu != cpu || r.kind != EventKind::kSwitch) continue;
+        if (open != nullptr && open->tid != 0) {
+          if (!first) os << ",\n";
+          first = false;
+          os << R"(    {"name":"run t)" << open->tid
+             << R"(","ph":"X","ts":)";
+          write_ts_us(os, open->time);
+          os << R"(,"dur":)";
+          write_ts_us(os, r.time - open->time);
+          os << R"(,"pid":)" << (cpu + 1) << R"(,"tid":)" << open->tid
+             << R"(,"args":{"t":)" << open->time << "}}";
+        }
+        open = &r;
+      }
+    }
+  }
+
+  if (opts.counters && tel != nullptr) {
+    const MetricsRegistry& m = tel->metrics();
+    sim::Nanos last = 0;
+    for (const Record& r : events) last = std::max(last, r.time);
+    for (std::uint32_t cpu = 0; cpu < m.num_cpus(); ++cpu) {
+      if (!first) os << ",\n";
+      first = false;
+      os << R"(    {"name":"effective-capacity","ph":"C","ts":)";
+      write_ts_us(os, last);
+      os << R"(,"pid":)" << (cpu + 1) << R"(,"tid":0,"args":{"cap":)"
+         << m.cpu(cpu).effective_capacity << "}}";
+    }
+  }
+
+  os << "\n  ],\n  \"displayTimeUnit\": \"ns\"\n}\n";
+}
+
+void write_chrome_trace(std::ostream& os, const Telemetry& tel,
+                        const ChromeTraceOptions& opts) {
+  write_chrome_trace(os, tel.recorder().snapshot_all(), opts, &tel);
+}
+
+std::vector<Record> from_sim_trace(const sim::Trace& trace,
+                                   std::uint32_t cpu) {
+  std::vector<Record> out;
+  for (const sim::TraceRecord& r : trace.records()) {
+    if (cpu != ~0u && r.cpu != cpu) continue;
+    Record rec;
+    rec.time = r.time;
+    rec.cpu = static_cast<std::uint16_t>(r.cpu);
+    switch (r.kind) {
+      case sim::TraceKind::kSwitch:
+        rec.kind = EventKind::kSwitch;
+        rec.tid = static_cast<std::uint32_t>(r.value);
+        break;
+      case sim::TraceKind::kSchedPass:
+        rec.kind = EventKind::kPass;
+        rec.arg = r.value;
+        break;
+      case sim::TraceKind::kIrqEnter:
+        rec.kind = EventKind::kKick;
+        rec.arg = r.value;  // vector
+        break;
+      default:
+        continue;  // pin / active / inactive / exit: no recorder analogue
+    }
+    out.push_back(rec);
+  }
+  return out;
+}
+
+namespace {
+
+/// Find `"key":` in `obj` and return the character index just past the
+/// colon, or npos.
+std::size_t find_key(std::string_view obj, std::string_view key) {
+  const std::string pat = "\"" + std::string(key) + "\":";
+  const std::size_t p = obj.find(pat);
+  return p == std::string_view::npos ? p : p + pat.size();
+}
+
+std::string get_string(std::string_view obj, std::string_view key) {
+  std::size_t p = find_key(obj, key);
+  if (p == std::string_view::npos) return {};
+  while (p < obj.size() && (obj[p] == ' ' || obj[p] == '\t')) ++p;
+  if (p >= obj.size() || obj[p] != '"') return {};
+  ++p;
+  const std::size_t e = obj.find('"', p);
+  if (e == std::string_view::npos) return {};
+  return std::string(obj.substr(p, e - p));
+}
+
+double get_number(std::string_view obj, std::string_view key, double def) {
+  std::size_t p = find_key(obj, key);
+  if (p == std::string_view::npos) return def;
+  while (p < obj.size() && (obj[p] == ' ' || obj[p] == '\t')) ++p;
+  std::size_t e = p;
+  while (e < obj.size() &&
+         (std::isdigit(static_cast<unsigned char>(obj[e])) || obj[e] == '-' ||
+          obj[e] == '+' || obj[e] == '.' || obj[e] == 'e' || obj[e] == 'E')) {
+    ++e;
+  }
+  double v = def;
+  std::from_chars(obj.data() + p, obj.data() + e, v);
+  return v;
+}
+
+}  // namespace
+
+ParsedTrace parse_chrome_trace(std::string_view json) {
+  ParsedTrace out;
+  const std::size_t key = json.find("\"traceEvents\"");
+  if (key == std::string_view::npos) {
+    out.error = "no traceEvents key";
+    return out;
+  }
+  const std::size_t open = json.find('[', key);
+  if (open == std::string_view::npos) {
+    out.error = "no traceEvents array";
+    return out;
+  }
+  std::size_t i = open + 1;
+  int array_depth = 1;
+  while (i < json.size() && array_depth > 0) {
+    const char c = json[i];
+    if (c == ']') {
+      --array_depth;
+      ++i;
+    } else if (c == '[') {
+      ++array_depth;
+      ++i;
+    } else if (c == '{') {
+      // Balanced-brace scan of one event object (no nested strings with
+      // braces in our exporter's output).
+      int depth = 0;
+      std::size_t j = i;
+      for (; j < json.size(); ++j) {
+        if (json[j] == '{') ++depth;
+        if (json[j] == '}' && --depth == 0) break;
+      }
+      if (j >= json.size()) {
+        out.error = "unbalanced object";
+        return out;
+      }
+      const std::string_view obj = json.substr(i, j - i + 1);
+      ParsedEvent ev;
+      ev.name = get_string(obj, "name");
+      ev.phase = get_string(obj, "ph");
+      ev.ts_us = get_number(obj, "ts", 0.0);
+      ev.pid = static_cast<std::int64_t>(get_number(obj, "pid", 0.0));
+      ev.tid = static_cast<std::int64_t>(get_number(obj, "tid", 0.0));
+      ev.dur_us = get_number(obj, "dur", 0.0);
+      ev.t_ns = static_cast<std::int64_t>(get_number(obj, "t", 0.0));
+      if (ev.name.empty() || ev.phase.empty()) {
+        out.error = "event missing name/ph";
+        return out;
+      }
+      out.events.push_back(std::move(ev));
+      i = j + 1;
+    } else {
+      ++i;
+    }
+  }
+  if (array_depth != 0) {
+    out.error = "unterminated traceEvents array";
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
+namespace {
+
+void write_log_hist(std::ostream& os, const LogHistogram& h) {
+  os << "{\"count\": " << h.total() << ", \"min\": " << h.min()
+     << ", \"mean\": " << h.mean() << ", \"p50\": " << h.quantile(0.50)
+     << ", \"p90\": " << h.quantile(0.90) << ", \"p99\": " << h.quantile(0.99)
+     << ", \"max\": " << h.max() << "}";
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& os, const Telemetry& tel,
+                        sim::Nanos now) {
+  const MetricsRegistry& m = tel.metrics();
+  os << "{\n  \"schema\": \"hrt-metrics-v1\",\n";
+  os << "  \"now_ns\": " << now << ",\n";
+  os << "  \"cpus\": [\n";
+  for (std::uint32_t c = 0; c < m.num_cpus(); ++c) {
+    const CpuMetrics& cm = m.cpu(c);
+    os << "    {\"cpu\": " << c << ", \"passes\": " << cm.passes
+       << ", \"switches\": " << cm.switches << ", \"kicks\": " << cm.kicks
+       << ", \"timer_arms\": " << cm.timer_arms
+       << ", \"admits_ok\": " << cm.admits_ok
+       << ", \"admits_rejected\": " << cm.admits_rejected
+       << ", \"completions\": " << cm.completions
+       << ", \"misses\": " << cm.misses
+       << ", \"migrations_in\": " << cm.migrations_in
+       << ", \"migrations_out\": " << cm.migrations_out
+       << ", \"sheds\": " << cm.sheds << ", \"restores\": " << cm.restores
+       << ", \"pass_span_ns\": {\"count\": " << cm.pass_span_ns.count()
+       << ", \"mean\": " << cm.pass_span_ns.mean()
+       << ", \"max\": " << cm.pass_span_ns.max() << "}"
+       << ", \"effective_capacity\": " << cm.effective_capacity << "}"
+       << (c + 1 < m.num_cpus() ? ",\n" : "\n");
+  }
+  os << "  ],\n";
+
+  os << "  \"threads\": [\n";
+  const auto threads = m.threads_sorted();
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    const ThreadMetrics& tm = *threads[i];
+    os << "    {\"tid\": " << tm.tid << ", \"name\": \"";
+    json_escape(os, tm.name);
+    os << "\", \"completions\": " << tm.completions
+       << ", \"misses\": " << tm.misses << ", \"slack_ns\": ";
+    write_log_hist(os, tm.slack_ns);
+    os << ", \"lateness_ns\": ";
+    write_log_hist(os, tm.lateness_ns);
+    os << "}" << (i + 1 < threads.size() ? ",\n" : "\n");
+  }
+  os << "  ],\n";
+  os << "  \"threads_dropped\": " << m.threads_dropped() << ",\n";
+
+  os << "  \"slos\": [\n";
+  const auto slos = tel.slo().status(now);
+  for (std::size_t i = 0; i < slos.size(); ++i) {
+    const SloStatus& s = slos[i];
+    os << "    {\"name\": \"";
+    json_escape(os, s.spec->name);
+    os << "\", \"thread_match\": \"";
+    json_escape(os, s.spec->thread_match);
+    os << "\", \"miss_budget\": " << s.spec->miss_budget
+       << ", \"window_ns\": " << s.spec->window_ns
+       << ", \"completions\": " << s.completions
+       << ", \"misses\": " << s.misses << ", \"burn_rate\": " << s.burn_rate
+       << ", \"alerting\": " << (s.alerting ? "true" : "false")
+       << ", \"alerts\": " << s.alerts << "}"
+       << (i + 1 < slos.size() ? ",\n" : "\n");
+  }
+  os << "  ],\n";
+
+  const FlightRecorder& rec = tel.recorder();
+  os << "  \"recorder\": {\"written\": " << rec.written()
+     << ", \"dropped\": " << rec.dropped()
+     << ", \"ring_capacity\": " << rec.ring(0).capacity()
+     << ", \"sampled_cost_ns\": {\"samples\": "
+     << rec.sampled_cost_ns().count()
+     << ", \"mean\": " << rec.sampled_cost_ns().mean() << "}}\n";
+  os << "}\n";
+}
+
+}  // namespace hrt::telemetry

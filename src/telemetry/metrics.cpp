@@ -1,0 +1,18 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+
+namespace hrt::telemetry {
+
+std::vector<const ThreadMetrics*> MetricsRegistry::threads_sorted() const {
+  std::vector<const ThreadMetrics*> out;
+  out.reserve(threads_.size());
+  for (const auto& [tid, tm] : threads_) out.push_back(&tm);
+  std::sort(out.begin(), out.end(),
+            [](const ThreadMetrics* a, const ThreadMetrics* b) {
+              return a->tid < b->tid;
+            });
+  return out;
+}
+
+}  // namespace hrt::telemetry

@@ -1,0 +1,108 @@
+// Lock-free SPSC flight-recorder ring (docs/OBSERVABILITY.md).
+//
+// One ring per CPU, one writer (the code instrumented on that CPU), any
+// number of snapshot readers.  The ring never blocks the writer: when full
+// it overwrites the oldest slot (drop-oldest, the flight-recorder policy —
+// the most recent history is the valuable part).  Each slot carries a
+// per-slot sequence tag in the seqlock style: odd while a write is in
+// flight, even (2 * (logical_index + 1)) once committed.  A reader copies
+// the slot and re-checks the tag; a concurrent overwrite of that slot shows
+// up as a tag change and the torn copy is discarded rather than returned.
+//
+// Inside the simulator all CPUs of one System run on a single host thread,
+// so writer and reader never actually race there; the real atomics matter
+// for the cross-thread stress test (tests/test_telemetry.cpp) and keep the
+// design honest for a native port.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "telemetry/record.hpp"
+
+namespace hrt::telemetry {
+
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 8).
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 8;
+    while (cap < capacity) cap <<= 1;
+    capacity_ = cap;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<Slot[]>(cap);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Writer side.  Always succeeds; a full ring drops its oldest record.
+  void push(const Record& r) noexcept {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    Slot& s = slots_[h & mask_];
+    // Odd tag: write in flight.  Readers that see it skip the slot.
+    s.seq.store(2 * h + 1, std::memory_order_release);
+    s.rec = r;
+    s.rec.gen = static_cast<std::uint8_t>(h / capacity_);
+    // Even tag encodes the logical index, so a reader can verify the copy
+    // belongs to the generation it expected (wraparound detection).
+    s.seq.store(2 * (h + 1), std::memory_order_release);
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  /// Total records ever pushed.
+  [[nodiscard]] std::uint64_t written() const {
+    return head_.load(std::memory_order_acquire);
+  }
+
+  /// Records overwritten by wraparound (drop-oldest).
+  [[nodiscard]] std::uint64_t dropped() const {
+    const std::uint64_t h = written();
+    return h > capacity_ ? h - capacity_ : 0;
+  }
+
+  /// Oldest logical index still retained.
+  [[nodiscard]] std::uint64_t first_retained() const {
+    const std::uint64_t h = written();
+    return h > capacity_ ? h - capacity_ : 0;
+  }
+
+  /// Copy out the retained window, oldest first.  Slots overwritten (or
+  /// mid-write) during the copy are skipped; `torn` (optional) counts them.
+  [[nodiscard]] std::vector<Record> snapshot(
+      std::uint64_t* torn = nullptr) const {
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    const std::uint64_t lo = h > capacity_ ? h - capacity_ : 0;
+    std::vector<Record> out;
+    out.reserve(static_cast<std::size_t>(h - lo));
+    std::uint64_t skipped = 0;
+    for (std::uint64_t i = lo; i < h; ++i) {
+      const Slot& s = slots_[i & mask_];
+      const std::uint64_t before = s.seq.load(std::memory_order_acquire);
+      Record r = s.rec;
+      std::atomic_thread_fence(std::memory_order_acquire);
+      const std::uint64_t after = s.seq.load(std::memory_order_relaxed);
+      if (before == after && before == 2 * (i + 1)) {
+        out.push_back(r);
+      } else {
+        ++skipped;  // overwritten or being written while we copied
+      }
+    }
+    if (torn != nullptr) *torn = skipped;
+    return out;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    Record rec{};
+  };
+
+  std::size_t capacity_ = 0;
+  std::uint64_t mask_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+}  // namespace hrt::telemetry

@@ -1,0 +1,104 @@
+#include "telemetry/slo.hpp"
+
+namespace hrt::telemetry {
+
+SloMonitor::SloMonitor(std::vector<SloSpec> specs) {
+  states_.reserve(specs.size());
+  for (SloSpec& s : specs) {
+    if (s.window_ns <= 0) s.window_ns = sim::millis(100);
+    if (s.miss_budget <= 0.0) s.miss_budget = 1e-9;
+    State st;
+    st.spec = std::move(s);
+    states_.push_back(std::move(st));
+  }
+  totals_completions_.assign(states_.size(), 0);
+  totals_misses_.assign(states_.size(), 0);
+}
+
+void SloMonitor::rotate(State& st, sim::Nanos now) const {
+  // Advance the two-bucket window pair until `now` falls in the current
+  // window.  Jumping more than one window ahead clears both buckets.
+  while (now >= st.window_start + st.spec.window_ns) {
+    st.window_start += st.spec.window_ns;
+    st.prev = st.cur;
+    st.cur = Window{};
+  }
+}
+
+double SloMonitor::burn_of(const State& st, sim::Nanos now) {
+  // Weight the previous window by the fraction of it still inside the
+  // sliding window ending at `now`.
+  const double frac_elapsed =
+      static_cast<double>(now - st.window_start) /
+      static_cast<double>(st.spec.window_ns);
+  const double w_prev = 1.0 - frac_elapsed;
+  const double comp = static_cast<double>(st.cur.completions) +
+                      w_prev * static_cast<double>(st.prev.completions);
+  const double miss = static_cast<double>(st.cur.misses) +
+                      w_prev * static_cast<double>(st.prev.misses);
+  if (comp <= 0.0) return 0.0;
+  return (miss / comp) / st.spec.miss_budget;
+}
+
+void SloMonitor::on_completion(std::string_view thread_name, bool missed,
+                               sim::Nanos now, std::uint64_t n) {
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    State& st = states_[i];
+    if (!matches(st, thread_name)) continue;
+    rotate(st, now);
+    st.cur.completions += n;
+    totals_completions_[i] += n;
+    if (missed) {
+      st.cur.misses += n;
+      totals_misses_[i] += n;
+    }
+    if (st.cur.completions + st.prev.completions < st.spec.min_completions) {
+      continue;
+    }
+    const double burn = burn_of(st, now);
+    if (burn >= 1.0) {
+      if (!st.alerting) {
+        st.alerting = true;
+        ++st.alerts;
+        ++total_alerts_;
+        if (alert_fn_) alert_fn_(i, now, burn);
+      }
+    } else {
+      st.alerting = false;
+    }
+  }
+}
+
+double SloMonitor::burn_rate(std::size_t i, sim::Nanos now) const {
+  State& st = states_[i];
+  rotate(st, now);
+  return burn_of(st, now);
+}
+
+std::optional<double> SloMonitor::burn_rate_for(std::string_view thread_name,
+                                                sim::Nanos now) const {
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (matches(states_[i], thread_name)) return burn_rate(i, now);
+  }
+  return std::nullopt;
+}
+
+std::vector<SloStatus> SloMonitor::status(sim::Nanos now) const {
+  std::vector<SloStatus> out;
+  out.reserve(states_.size());
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    State& st = states_[i];
+    rotate(st, now);
+    SloStatus s;
+    s.spec = &st.spec;
+    s.completions = totals_completions_[i];
+    s.misses = totals_misses_[i];
+    s.burn_rate = burn_of(st, now);
+    s.alerting = st.alerting;
+    s.alerts = st.alerts;
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace hrt::telemetry

@@ -1,0 +1,107 @@
+// Declarative SLO monitor (docs/OBSERVABILITY.md).
+//
+// An SloSpec declares a deadline-miss budget for a set of threads (matched
+// by name prefix, so one spec can cover a whole group's workers) over a
+// sliding window.  The monitor tracks the windowed miss fraction with a
+// two-bucket rotation — current + previous window, weighted by how far the
+// current window has progressed — which bounds memory at O(1) per spec and
+// still reacts within one window of a burst.
+//
+// burn rate = windowed miss fraction / budget.  Burn >= 1.0 means the spec
+// is consuming its budget faster than allowed; on that transition the
+// monitor fires an alert: a kSloAlert flight-recorder event plus an audit
+// kSloBudget violation (both optional, wired by the Telemetry hub).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hrt::telemetry {
+
+struct SloSpec {
+  std::string name;          // spec label for reports/export
+  std::string thread_match;  // thread-name prefix ("" matches everything)
+  double miss_budget = 0.01; // allowed miss fraction per window
+  sim::Nanos window_ns = sim::millis(100);
+  /// Don't alert before this many completions land in the window pair;
+  /// keeps a single early miss from tripping a 1% budget.
+  std::uint64_t min_completions = 10;
+};
+
+struct SloStatus {
+  const SloSpec* spec = nullptr;
+  std::uint64_t completions = 0;  // totals over the whole run
+  std::uint64_t misses = 0;
+  double burn_rate = 0.0;         // windowed, at query time
+  bool alerting = false;
+  std::uint64_t alerts = 0;       // burn >= 1 transitions seen
+};
+
+class SloMonitor {
+ public:
+  /// (spec index, now, burn rate) — invoked on each burn >= 1 transition.
+  using AlertFn = std::function<void(std::size_t, sim::Nanos, double)>;
+
+  explicit SloMonitor(std::vector<SloSpec> specs);
+
+  void set_alert_fn(AlertFn fn) { alert_fn_ = std::move(fn); }
+
+  [[nodiscard]] bool empty() const { return states_.empty(); }
+  [[nodiscard]] std::size_t size() const { return states_.size(); }
+  [[nodiscard]] const SloSpec& spec(std::size_t i) const {
+    return states_[i].spec;
+  }
+
+  /// Feed one arrival close for a thread.  `missed` mirrors the scheduler's
+  /// deadline check; `n` lets skipped windows count as multiple misses.
+  void on_completion(std::string_view thread_name, bool missed, sim::Nanos now,
+                     std::uint64_t n = 1);
+
+  /// Windowed burn rate of spec `i` at time `now`.
+  [[nodiscard]] double burn_rate(std::size_t i, sim::Nanos now) const;
+
+  /// Burn rate of the first spec matching a thread name, if any.
+  [[nodiscard]] std::optional<double> burn_rate_for(
+      std::string_view thread_name, sim::Nanos now) const;
+
+  [[nodiscard]] std::vector<SloStatus> status(sim::Nanos now) const;
+
+  /// Total alert transitions across all specs.
+  [[nodiscard]] std::uint64_t alerts() const { return total_alerts_; }
+
+ private:
+  struct Window {
+    std::uint64_t completions = 0;
+    std::uint64_t misses = 0;
+  };
+  struct State {
+    SloSpec spec;
+    sim::Nanos window_start = 0;
+    Window cur;
+    Window prev;
+    bool alerting = false;
+    std::uint64_t alerts = 0;
+  };
+
+  void rotate(State& st, sim::Nanos now) const;
+  [[nodiscard]] static double burn_of(const State& st, sim::Nanos now);
+  [[nodiscard]] bool matches(const State& st,
+                             std::string_view thread_name) const {
+    return thread_name.substr(0, st.spec.thread_match.size()) ==
+           st.spec.thread_match;
+  }
+
+  mutable std::vector<State> states_;
+  AlertFn alert_fn_;
+  std::uint64_t total_alerts_ = 0;
+  std::vector<std::uint64_t> totals_completions_;
+  std::vector<std::uint64_t> totals_misses_;
+};
+
+}  // namespace hrt::telemetry

@@ -1,0 +1,135 @@
+#include "telemetry/telemetry.hpp"
+
+#include <cmath>
+#include <cstdint>
+
+#include "audit/auditor.hpp"
+
+namespace hrt::telemetry {
+
+namespace {
+// Clamp a double utilization/fraction into a ppm payload.
+std::int64_t to_ppm(double x) {
+  if (!(x > 0.0)) return 0;
+  const double ppm = x * 1e6;
+  if (ppm >= 9.2e18) return INT64_MAX;
+  return static_cast<std::int64_t>(std::llround(ppm));
+}
+}  // namespace
+
+Telemetry::Telemetry(std::uint32_t num_cpus, Config cfg)
+    : cfg_(std::move(cfg)),
+      recorder_(std::make_unique<FlightRecorder>(num_cpus, cfg_.recorder)),
+      metrics_(std::make_unique<MetricsRegistry>(num_cpus,
+                                                 cfg_.max_thread_metrics)),
+      slo_(std::make_unique<SloMonitor>(cfg_.slos)) {
+  slo_->set_alert_fn([this](std::size_t spec, sim::Nanos now, double burn) {
+    // Alerts are machine-wide; attribute them to CPU 0's ring.
+    recorder_->record(0, EventKind::kSloAlert, now, 0, to_ppm(burn));
+    if (cfg_.slo_audit && auditor_ != nullptr && auditor_->enabled() &&
+        auditor_->config().check_slo) {
+      const SloSpec& s = slo_->spec(spec);
+      auditor_->record(audit::Invariant::kSloBudget, 0, now,
+                       "slo '" + s.name + "' burn rate " +
+                           std::to_string(burn) + " >= 1 (budget " +
+                           std::to_string(s.miss_budget) + "/window)");
+    }
+  });
+}
+
+void Telemetry::on_pass(std::uint32_t cpu, sim::Nanos now, int reason) {
+  if (!cfg_.enabled) return;
+  ++metrics_->cpu(cpu).passes;
+  recorder_->record(cpu, EventKind::kPass, now, 0, reason);
+}
+
+void Telemetry::on_pass_span(std::uint32_t cpu, double span_ns) {
+  if (!cfg_.enabled) return;
+  metrics_->cpu(cpu).pass_span_ns.add(span_ns);
+}
+
+void Telemetry::on_switch(std::uint32_t cpu, sim::Nanos now,
+                          std::uint32_t tid) {
+  if (!cfg_.enabled) return;
+  ++metrics_->cpu(cpu).switches;
+  recorder_->record(cpu, EventKind::kSwitch, now, tid, 0);
+}
+
+void Telemetry::on_kick(std::uint32_t cpu, sim::Nanos now) {
+  if (!cfg_.enabled) return;
+  ++metrics_->cpu(cpu).kicks;
+  recorder_->record(cpu, EventKind::kKick, now, 0, 0);
+}
+
+void Telemetry::on_timer_arm(std::uint32_t cpu, sim::Nanos now,
+                             sim::Nanos delay) {
+  if (!cfg_.enabled) return;
+  ++metrics_->cpu(cpu).timer_arms;
+  recorder_->record(cpu, EventKind::kTimerArm, now, 0, delay);
+}
+
+void Telemetry::on_admit(std::uint32_t cpu, sim::Nanos now, std::uint32_t tid,
+                         bool ok, double util) {
+  if (!cfg_.enabled) return;
+  CpuMetrics& m = metrics_->cpu(cpu);
+  if (ok) {
+    ++m.admits_ok;
+  } else {
+    ++m.admits_rejected;
+  }
+  recorder_->record(cpu, ok ? EventKind::kAdmitOk : EventKind::kAdmitReject,
+                    now, tid, to_ppm(util));
+}
+
+void Telemetry::on_completion(std::uint32_t cpu, sim::Nanos now,
+                              std::uint32_t tid, std::string_view name,
+                              sim::Nanos lateness) {
+  if (!cfg_.enabled) return;
+  metrics_->on_completion(cpu, tid, name, lateness);
+  if (lateness > 0) {
+    recorder_->record(cpu, EventKind::kDeadlineMiss, now, tid, lateness);
+  }
+  slo_->on_completion(name, lateness > 0, now);
+}
+
+void Telemetry::on_skipped_windows(std::uint32_t cpu, sim::Nanos now,
+                                   std::uint32_t tid, std::string_view name,
+                                   std::uint64_t n) {
+  if (!cfg_.enabled || n == 0) return;
+  metrics_->on_skipped(cpu, tid, name, n);
+  recorder_->record(cpu, EventKind::kDeadlineMiss, now, tid,
+                    -static_cast<std::int64_t>(n));
+  slo_->on_completion(name, true, now, n);
+}
+
+void Telemetry::on_migration(std::uint32_t cpu, sim::Nanos now,
+                             std::uint32_t tid, EventKind kind,
+                             std::uint32_t peer) {
+  if (!cfg_.enabled) return;
+  CpuMetrics& m = metrics_->cpu(cpu);
+  if (kind == EventKind::kMigrateIn) {
+    ++m.migrations_in;
+  } else if (kind == EventKind::kMigrateOut ||
+             kind == EventKind::kAperiodicMigrate) {
+    ++m.migrations_out;
+  }
+  recorder_->record(cpu, kind, now, tid, static_cast<std::int64_t>(peer));
+}
+
+void Telemetry::on_event(std::uint32_t cpu, sim::Nanos now, EventKind kind,
+                         std::uint32_t tid, std::int64_t arg) {
+  if (!cfg_.enabled) return;
+  if (kind == EventKind::kShed) {
+    ++metrics_->cpu(cpu).sheds;
+  } else if (kind == EventKind::kRestore) {
+    ++metrics_->cpu(cpu).restores;
+  }
+  recorder_->record(cpu, kind, now, tid, arg);
+}
+
+void Telemetry::set_effective_capacity(std::uint32_t cpu, double cap) {
+  if (!cfg_.enabled) return;
+  metrics_->cpu(cpu).effective_capacity = cap;
+}
+
+}  // namespace hrt::telemetry

@@ -1,0 +1,100 @@
+// Telemetry hub: flight recorder + metrics + SLO monitor behind one handle
+// (docs/OBSERVABILITY.md).
+//
+// The scheduler stack carries a single `telemetry::Telemetry*` (null when
+// the subsystem is disabled — the same convention as the auditor and the
+// placement ledger), so the hot-path cost of telemetry-off is one pointer
+// test.  Every hook is a pure host-side observer: it charges no simulated
+// time and mutates no scheduler state, which is what makes a telemetry-on
+// run bit-identical (same switches, same misses, same audit results) to a
+// telemetry-off run by construction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "sim/time.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/recorder.hpp"
+#include "telemetry/slo.hpp"
+
+namespace hrt::audit {
+class Auditor;
+}
+
+namespace hrt::telemetry {
+
+struct Config {
+  /// Master switch.  Off (the default) means rt::System does not even
+  /// construct the subsystem and the kernel carries a null pointer.
+  bool enabled = false;
+  RecorderConfig recorder{};
+  /// Distinct threads tracked with full histograms; beyond this only the
+  /// per-CPU counters grow (overflow is counted, never silent).
+  std::size_t max_thread_metrics = 4096;
+  std::vector<SloSpec> slos;
+  /// Raise an audit kSloBudget violation when an SLO alert fires (requires
+  /// an attached auditor with check_slo set).
+  bool slo_audit = true;
+};
+
+class Telemetry {
+ public:
+  Telemetry(std::uint32_t num_cpus, Config cfg);
+
+  [[nodiscard]] bool enabled() const { return cfg_.enabled; }
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+  /// Optional: route SLO alerts into the audit report (kSloBudget).
+  void attach_auditor(audit::Auditor* auditor) { auditor_ = auditor; }
+
+  // --- hot-path hooks (all no-ops when disabled) -------------------------
+
+  /// End of a scheduling pass.  `reason` is the nk::PassReason ordinal.
+  void on_pass(std::uint32_t cpu, sim::Nanos now, int reason);
+  /// Executor-measured scheduler handler span (irq + pass + switch), ns.
+  void on_pass_span(std::uint32_t cpu, double span_ns);
+  void on_switch(std::uint32_t cpu, sim::Nanos now, std::uint32_t tid);
+  void on_kick(std::uint32_t cpu, sim::Nanos now);
+  void on_timer_arm(std::uint32_t cpu, sim::Nanos now, sim::Nanos delay);
+  void on_admit(std::uint32_t cpu, sim::Nanos now, std::uint32_t tid, bool ok,
+                double util);
+  /// Arrival close.  `lateness` is signed: > 0 is a deadline miss by that
+  /// much, <= 0 met the deadline with -lateness slack.
+  void on_completion(std::uint32_t cpu, sim::Nanos now, std::uint32_t tid,
+                     std::string_view name, sim::Nanos lateness);
+  /// Whole deadline windows skipped by a late periodic arrival (counted as
+  /// misses; no slack/lateness sample of their own).
+  void on_skipped_windows(std::uint32_t cpu, sim::Nanos now, std::uint32_t tid,
+                          std::string_view name, std::uint64_t n);
+  /// kind must be one of kMigrateRequest / kMigrateOut / kMigrateIn /
+  /// kAperiodicMigrate; `peer` is the other CPU.
+  void on_migration(std::uint32_t cpu, sim::Nanos now, std::uint32_t tid,
+                    EventKind kind, std::uint32_t peer);
+  /// Generic escape hatch for subsystems with their own vocabularies
+  /// (storm controller, split planner, group barriers, benches).
+  void on_event(std::uint32_t cpu, sim::Nanos now, EventKind kind,
+                std::uint32_t tid, std::int64_t arg);
+  /// Gauge: effective RT capacity published for a CPU.
+  void set_effective_capacity(std::uint32_t cpu, double cap);
+
+  // --- cold-path access --------------------------------------------------
+
+  [[nodiscard]] FlightRecorder& recorder() { return *recorder_; }
+  [[nodiscard]] const FlightRecorder& recorder() const { return *recorder_; }
+  [[nodiscard]] MetricsRegistry& metrics() { return *metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return *metrics_; }
+  [[nodiscard]] SloMonitor& slo() { return *slo_; }
+  [[nodiscard]] const SloMonitor& slo() const { return *slo_; }
+  [[nodiscard]] audit::Auditor* auditor() const { return auditor_; }
+
+ private:
+  Config cfg_;
+  std::unique_ptr<FlightRecorder> recorder_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<SloMonitor> slo_;
+  audit::Auditor* auditor_ = nullptr;
+};
+
+}  // namespace hrt::telemetry

@@ -214,6 +214,67 @@ TEST(Placement, SplitPlanPipelineMath) {
   EXPECT_EQ(total, task.slice);  // the whole job's work is preserved
 }
 
+// A split plan is a long-lived commitment, so chunk sizing must respect what
+// each CPU can actually deliver: the ledger headroom minus the CPU's worst
+// recent missing-time window (docs/RESILIENCE.md follow-up).
+TEST(Placement, SplitPlanDegradesByMissingTime) {
+  auto slice_on = [](const global::SplitPlan& plan, std::uint32_t cpu) {
+    sim::Nanos s = 0;
+    for (const auto& c : plan.chunks) {
+      if (c.cpu == cpu) s += c.constraints.slice;
+    }
+    return s;
+  };
+  auto degrade_cpu0 = [](System& sys) {
+    // Seed the estimator directly (no SMIs in this test): one 800 us episode
+    // in a 2 ms window is a 0.4 worst-window fraction once the window closes.
+    auto& est = sys.sched(0).missing_time();
+    const sim::Nanos t0 = sys.engine().now();
+    est.note_episode(sim::micros(800), 0, t0);
+    est.advance(t0 + est.config().window_ns + 1);
+    ASSERT_NEAR(est.windowed_max_fraction(), 0.4, 0.02);
+  };
+  const auto wide =
+      rt::Constraints::periodic(sim::millis(1), sim::millis(1), sim::micros(900));
+
+  System::Options o = placed(2, 0);
+  o.sched.estimator.enabled = true;  // estimator only; no storm controller
+  System sys(std::move(o));
+  sys.boot();
+  const sim::Nanos min_slice = sys.options().sched.min_slice;
+
+  const auto clean = sys.placement().plan_split(wide, min_slice);
+  ASSERT_TRUE(clean.ok);
+  // Equal headroom: the stable sort fills cpu0 first (0.79), tail on cpu1.
+  EXPECT_GT(slice_on(clean, 0), slice_on(clean, 1));
+
+  degrade_cpu0(sys);
+  const auto degraded = sys.placement().plan_split(wide, min_slice);
+  ASSERT_TRUE(degraded.ok);
+  // The degraded CPU's chunk shrank; the work moved to the healthy CPU.
+  EXPECT_LT(slice_on(degraded, 0), slice_on(clean, 0));
+  EXPECT_GT(slice_on(degraded, 1), slice_on(clean, 1));
+  // Chunks respect the *degraded* headroom, not just the ledger's.
+  EXPECT_LE(static_cast<double>(slice_on(degraded, 0)) /
+                static_cast<double>(wide.period),
+            sys.placement().ledger().headroom(0) - 0.4 + 1e-9);
+  sim::Nanos total = 0;
+  for (const auto& c : degraded.chunks) total += c.constraints.slice;
+  EXPECT_EQ(total, wide.slice);  // work conserved either way
+
+  // The config gate restores the old (ledger-only) sizing.
+  System::Options o2 = placed(2, 0);
+  o2.sched.estimator.enabled = true;
+  o2.placement_config.split_degrade_missing_time = false;
+  System gated(std::move(o2));
+  gated.boot();
+  degrade_cpu0(gated);
+  const auto ungated = gated.placement().plan_split(wide, min_slice);
+  ASSERT_TRUE(ungated.ok);
+  EXPECT_EQ(slice_on(ungated, 0), slice_on(clean, 0));
+  EXPECT_EQ(slice_on(ungated, 1), slice_on(clean, 1));
+}
+
 // ---------- job-boundary RT migration ----------
 
 TEST(Migration, JobBoundaryHandoff) {
