@@ -109,4 +109,37 @@ inline std::vector<hrt::sim::Nanos> throttle_periods(bool full) {
   return {micros(250), micros(500), micros(1000), micros(2000), micros(4000)};
 }
 
+/// One (period, slice%) cell of a Figure 13-16 sweep.
+struct BspJob {
+  hrt::sim::Nanos period;
+  int pct;
+};
+
+inline std::vector<BspJob> sweep_jobs(
+    const std::vector<hrt::sim::Nanos>& periods, int pct_lo, int pct_hi,
+    int pct_step) {
+  std::vector<BspJob> jobs;
+  for (hrt::sim::Nanos period : periods) {
+    for (int pct = pct_lo; pct <= pct_hi; pct += pct_step) {
+      jobs.push_back({period, pct});
+    }
+  }
+  return jobs;
+}
+
+/// Run every sweep cell through the shared --threads-controlled worker-pool
+/// helper (bench::parallel_for_index, backed by sim::WorkerPool).  Each cell
+/// is an independent simulation with its own seed-derived System, and
+/// results land in job order, so output is identical to a serial sweep.
+inline std::vector<BspPoint> run_rt_sweep(const hrt::bsp::BspConfig& base,
+                                          const std::vector<BspJob>& jobs,
+                                          std::uint64_t seed, bool barrier,
+                                          unsigned threads) {
+  std::vector<BspPoint> out(jobs.size());
+  parallel_for_index(jobs.size(), threads, [&](std::size_t i) {
+    out[i] = run_rt_point(base, jobs[i].period, jobs[i].pct, seed, barrier);
+  });
+  return out;
+}
+
 }  // namespace bench

@@ -6,10 +6,12 @@
 // paper-scale sweeps; the default is a quick mode suitable for CI.
 //
 // Parallel sweeps: parameter points in a figure sweep are independent
-// simulations, so `parallel_for_index` shards them across host cores with a
-// work-queue (atomic next-index) pool.  Each point runs with the same seed
-// it would get serially and results land in an order-preserving array, so
-// output is bit-identical to a `--threads=1` run.
+// simulations, so `parallel_for_index` shards them across host cores via
+// the shared sim::WorkerPool (the same pool class that drives the
+// ShardedEngine's stage/commit phases) with dynamic index claiming.  Each
+// point runs with the same seed it would get serially and results land in
+// an order-preserving array, so output is bit-identical to a `--threads=1`
+// run.
 //
 // Machine-readable output: pass --json=PATH to binaries that support it to
 // get a JSON record of the run (see docs/PERFORMANCE.md for the schema and
@@ -17,17 +19,17 @@
 // perf snapshots).
 #pragma once
 
-#include <atomic>
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <exception>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "rt/system.hpp"
+#include "sim/worker_pool.hpp"
 
 namespace bench {
 
@@ -87,9 +89,10 @@ class Stopwatch {
   std::chrono::steady_clock::time_point start_;
 };
 
-/// Run fn(0) .. fn(n-1) across `threads` workers pulling indices from a
-/// shared work queue.  Blocks until every index completed.  The first
-/// exception thrown by any worker is rethrown on the caller's thread.
+/// Run fn(0) .. fn(n-1) across `threads` workers (the shared
+/// sim::WorkerPool, dynamic index claiming).  Blocks until every index
+/// completed.  The first exception thrown by any worker is rethrown on the
+/// caller's thread.
 template <typename Fn>
 void parallel_for_index(std::size_t n, unsigned threads, Fn&& fn) {
   if (n == 0) return;
@@ -97,28 +100,38 @@ void parallel_for_index(std::size_t n, unsigned threads, Fn&& fn) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr error;
-  std::mutex error_mu;
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      try {
-        fn(i);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mu);
-        if (!error) error = std::current_exception();
-      }
-    }
-  };
-  std::vector<std::thread> pool;
-  const unsigned count = static_cast<unsigned>(
-      std::min<std::size_t>(threads, n));
-  pool.reserve(count);
-  for (unsigned t = 0; t < count; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
-  if (error) std::rethrow_exception(error);
+  hrt::sim::WorkerPool pool(
+      static_cast<unsigned>(std::min<std::size_t>(threads, n)));
+  pool.parallel_for(n, [&fn](std::size_t i) { fn(i); });
+}
+
+/// Provenance object stamped into every BENCH_*.json by
+/// JsonObject::write_file: host core count, compiler, the effective build
+/// flags (HRT_BUILD_FLAGS, injected by bench/CMakeLists.txt), and the git
+/// SHA that bench/run_perf.sh exports as HRT_GIT_SHA.  Snapshots from
+/// different machines or builds are then self-describing
+/// (docs/PERFORMANCE.md).
+inline std::string env_json() {
+  std::string out = "{\"host_cores\": ";
+  out += std::to_string(std::thread::hardware_concurrency());
+  out += ", \"compiler\": \"";
+#if defined(__clang__)
+  out += __VERSION__;  // clang's __VERSION__ already names the compiler
+#elif defined(__GNUC__)
+  out += "gcc ";
+  out += __VERSION__;
+#else
+  out += "unknown";
+#endif
+  out += "\", \"build_flags\": \"";
+#ifdef HRT_BUILD_FLAGS
+  out += HRT_BUILD_FLAGS;
+#endif
+  out += "\", \"git_sha\": \"";
+  const char* sha = std::getenv("HRT_GIT_SHA");
+  out += (sha != nullptr && *sha != '\0') ? sha : "unknown";
+  out += "\"}";
+  return out;
 }
 
 /// Minimal JSON object writer: flat string/number fields plus raw nested
@@ -151,10 +164,15 @@ class JsonObject {
     return out;
   }
 
+  /// Writes the object with an "env" provenance field appended (see
+  /// env_json()); every committed BENCH_*.json records where it came from.
   bool write_file(const std::string& path) const {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return false;
-    const std::string s = str() + "\n";
+    std::string s = str();
+    s.pop_back();  // drop the closing '}'
+    if (!parts_.empty()) s += ", ";
+    s += "\"env\": " + env_json() + "}\n";
     std::fwrite(s.data(), 1, s.size(), f);
     std::fclose(f);
     return true;

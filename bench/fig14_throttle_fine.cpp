@@ -18,25 +18,27 @@ int main(int argc, char** argv) {
   const auto base = bench::fine_cfg(p, args.full);
   const auto periods = bench::throttle_periods(args.full);
 
+  const auto jobs = bench::sweep_jobs(periods, 10, 90, args.full ? 10 : 20);
+  const auto pts =
+      bench::run_rt_sweep(base, jobs, args.seed, /*barrier=*/true,
+                          args.threads);
+
   std::printf("\n%10s %8s %8s %14s %18s\n", "period", "slice%", "util",
               "time (ms)", "time*util (ms)");
   double min_tu = 1e300;
   double max_tu = 0.0;
   bool all_ok = true;
-  for (sim::Nanos period : periods) {
-    for (int pct = 10; pct <= 90; pct += (args.full ? 10 : 20)) {
-      auto pt = bench::run_rt_point(base, period, pct, args.seed,
-                                    /*barrier=*/true);
-      all_ok = all_ok && pt.ok;
-      const double t_ms = static_cast<double>(pt.time) / 1e6;
-      const double tu = t_ms * pt.util;
-      std::printf("%7lld us %7d%% %8.2f %14.2f %18.2f\n",
-                  (long long)(period / 1000), pct, pt.util, t_ms, tu);
-      if (pt.ok) {
-        min_tu = std::min(min_tu, tu);
-        max_tu = std::max(max_tu, tu);
-      }
-      std::fflush(stdout);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const bench::BspPoint& pt = pts[i];
+    all_ok = all_ok && pt.ok;
+    const double t_ms = static_cast<double>(pt.time) / 1e6;
+    const double tu = t_ms * pt.util;
+    std::printf("%7lld us %7d%% %8.2f %14.2f %18.2f\n",
+                (long long)(jobs[i].period / 1000), jobs[i].pct, pt.util, t_ms,
+                tu);
+    if (pt.ok) {
+      min_tu = std::min(min_tu, tu);
+      max_tu = std::max(max_tu, tu);
     }
   }
 

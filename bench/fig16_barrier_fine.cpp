@@ -19,29 +19,33 @@ int main(int argc, char** argv) {
   const auto base = bench::fine_cfg(p, args.full);
   const auto periods = bench::throttle_periods(args.full);
 
+  const auto jobs = bench::sweep_jobs(periods, 30, 90, args.full ? 10 : 30);
+  const auto with_pts =
+      bench::run_rt_sweep(base, jobs, args.seed, /*barrier=*/true,
+                          args.threads);
+  const auto without_pts =
+      bench::run_rt_sweep(base, jobs, args.seed, /*barrier=*/false,
+                          args.threads);
+
   std::printf("\n%10s %8s %14s %14s %10s\n", "period", "slice%",
               "with barrier", "w/o barrier", "speedup");
   double best_speedup = 0.0;
   double worst_speedup = 1e300;
   double best_time = 1e300;
   bool all_ok = true;
-  for (sim::Nanos period : periods) {
-    for (int pct = 30; pct <= 90; pct += (args.full ? 10 : 30)) {
-      auto with = bench::run_rt_point(base, period, pct, args.seed, true);
-      auto without = bench::run_rt_point(base, period, pct, args.seed, false);
-      all_ok = all_ok && with.ok && without.ok;
-      const double speedup = static_cast<double>(with.time) /
-                             static_cast<double>(without.time);
-      std::printf("%7lld us %7d%% %11.2f ms %11.2f ms %9.3fx\n",
-                  (long long)(period / 1000), pct,
-                  static_cast<double>(with.time) / 1e6,
-                  static_cast<double>(without.time) / 1e6, speedup);
-      best_speedup = std::max(best_speedup, speedup);
-      worst_speedup = std::min(worst_speedup, speedup);
-      best_time =
-          std::min(best_time, static_cast<double>(without.time));
-      std::fflush(stdout);
-    }
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const bench::BspPoint& with = with_pts[i];
+    const bench::BspPoint& without = without_pts[i];
+    all_ok = all_ok && with.ok && without.ok;
+    const double speedup = static_cast<double>(with.time) /
+                           static_cast<double>(without.time);
+    std::printf("%7lld us %7d%% %11.2f ms %11.2f ms %9.3fx\n",
+                (long long)(jobs[i].period / 1000), jobs[i].pct,
+                static_cast<double>(with.time) / 1e6,
+                static_cast<double>(without.time) / 1e6, speedup);
+    best_speedup = std::max(best_speedup, speedup);
+    worst_speedup = std::min(worst_speedup, speedup);
+    best_time = std::min(best_time, static_cast<double>(without.time));
   }
   auto ap = bench::run_aperiodic_point(base, args.seed, true);
   std::printf("%10s %8s %11.2f ms %14s\n", "aperiodic", "100%",

@@ -20,6 +20,7 @@ CpuExecutor::CpuExecutor(Kernel& kernel, std::uint32_t cpu_id,
                          SchedulerBase* sched)
     : kernel_(kernel),
       machine_(kernel.machine()),
+      engine_(machine_.engine_for_cpu(cpu_id)),
       cpu_(machine_.cpu(cpu_id)),
       cpu_id_(cpu_id),
       sched_(sched) {}
@@ -39,7 +40,7 @@ void CpuExecutor::begin(Thread* idle) {
   current_ = idle;
   idle->state = Thread::State::kRunning;
   ++idle->dispatches;
-  run_span_start_ = machine_.engine().now();
+  run_span_start_ = engine_.now();
   run_span_open_ = true;
   sched_->attach(this);
   mode_ = Mode::kThread;
@@ -48,11 +49,11 @@ void CpuExecutor::begin(Thread* idle) {
 }
 
 void CpuExecutor::set_inflight(sim::Nanos end, std::function<void()> cont) {
-  const sim::Nanos now = machine_.engine().now();
+  const sim::Nanos now = engine_.now();
   stage_start_ = now;
   stage_end_ = end < now ? now : end;
   stage_cont_ = std::move(cont);
-  inflight_ = machine_.engine().schedule_at(stage_end_, [this] {
+  inflight_ = engine_.schedule_at(stage_end_, [this] {
     inflight_.reset();
     auto c = std::move(stage_cont_);
     stage_cont_ = nullptr;
@@ -61,13 +62,13 @@ void CpuExecutor::set_inflight(sim::Nanos end, std::function<void()> cont) {
 }
 
 void CpuExecutor::clear_inflight() {
-  machine_.engine().cancel(inflight_);
+  engine_.cancel(inflight_);
   inflight_.reset();
 }
 
 void CpuExecutor::close_run_span() {
   if (!run_span_open_ || current_ == nullptr) return;
-  const sim::Nanos span = machine_.engine().now() - run_span_start_;
+  const sim::Nanos span = engine_.now() - run_span_start_;
   current_->total_cpu_ns += span;
   if (current_->is_realtime() && current_->rt.arrival_open) {
     current_->rt.budget_left -= span;
@@ -78,7 +79,7 @@ void CpuExecutor::close_run_span() {
 void CpuExecutor::sync_run_span() {
   if (run_span_open_) {
     close_run_span();
-    run_span_start_ = machine_.engine().now();
+    run_span_start_ = engine_.now();
     run_span_open_ = true;
   }
 }
@@ -88,7 +89,7 @@ void CpuExecutor::deliver(hw::Vector v) {
   // not frozen, TPR passed.  Modes kHandler/kSchedCall keep interrupts off,
   // so we are in kThread or kHalted here.
   cpu_.set_interrupts_enabled(false);
-  const sim::Nanos now = machine_.engine().now();
+  const sim::Nanos now = engine_.now();
   machine_.trace().record(now, cpu_id_, sim::TraceKind::kIrqEnter, v);
   const auto& scope = kernel_.scope();
   if (scope.enabled && scope.cpu == cpu_id_) {
@@ -110,7 +111,7 @@ void CpuExecutor::suspend_current() {
   if (inflight_.valid()) {
     ++preemptions_;
     if (current_->action.kind == Action::Kind::kCompute) {
-      sim::Nanos done = machine_.engine().now() - stage_start_;
+      sim::Nanos done = engine_.now() - stage_start_;
       if (done > current_->action_remaining) done = current_->action_remaining;
       current_->action_remaining -= done;
     } else if (current_->action.kind == Action::Kind::kSpinUntil) {
@@ -123,7 +124,7 @@ void CpuExecutor::suspend_current() {
 }
 
 void CpuExecutor::begin_sched_handler(PassReason reason) {
-  const sim::Nanos now = machine_.engine().now();
+  const sim::Nanos now = engine_.now();
   const auto& cost = machine_.spec().cost;
   const sim::Nanos irq_ns = cost_ns(cost.irq_dispatch);
 
@@ -151,17 +152,17 @@ void CpuExecutor::begin_sched_handler(PassReason reason) {
 
   const auto& scope = kernel_.scope();
   if (scope.enabled && scope.cpu == cpu_id_) {
-    machine_.engine().schedule_at(
+    engine_.schedule_at(
         now + irq_ns,
         [this] {
-          machine_.gpio().set_pin(machine_.engine().now(), cpu_id_, kPinPass,
+          machine_.gpio().set_pin(engine_.now(), cpu_id_, kPinPass,
                                   true);
         },
         sim::EventBand::kObserver);
-    machine_.engine().schedule_at(
+    engine_.schedule_at(
         now + irq_ns + pass_ns,
         [this] {
-          machine_.gpio().set_pin(machine_.engine().now(), cpu_id_, kPinPass,
+          machine_.gpio().set_pin(engine_.now(), cpu_id_, kPinPass,
                                   false);
         },
         sim::EventBand::kObserver);
@@ -178,8 +179,8 @@ void CpuExecutor::begin_sched_handler(PassReason reason) {
 void CpuExecutor::begin_device_handler(hw::Vector v) {
   const sim::Nanos dur = cost_ns(kernel_.device_handler_cost(v));
   mode_ = Mode::kHandler;
-  set_inflight(machine_.engine().now() + dur, [this, v] {
-    const sim::Nanos now = machine_.engine().now();
+  set_inflight(engine_.now() + dur, [this, v] {
+    const sim::Nanos now = engine_.now();
     machine_.trace().record(now, cpu_id_, sim::TraceKind::kIrqExit, v);
     const auto& scope = kernel_.scope();
     if (scope.enabled && scope.cpu == cpu_id_) {
@@ -198,7 +199,7 @@ void CpuExecutor::begin_device_handler(hw::Vector v) {
 }
 
 void CpuExecutor::finish_handler(PassResult pr, bool via_irq) {
-  const sim::Nanos now = machine_.engine().now();
+  const sim::Nanos now = engine_.now();
   if (via_irq) {
     machine_.trace().record(now, cpu_id_, sim::TraceKind::kIrqExit,
                             hw::kTimerVector);
@@ -226,7 +227,7 @@ void CpuExecutor::finish_handler(PassResult pr, bool via_irq) {
 }
 
 void CpuExecutor::do_switch(Thread* next) {
-  const sim::Nanos now = machine_.engine().now();
+  const sim::Nanos now = engine_.now();
   Thread* prev = current_;
   const auto& scope = kernel_.scope();
   if (prev != nullptr) {
@@ -280,7 +281,7 @@ void CpuExecutor::maybe_enable_interrupts() {
 void CpuExecutor::start_action() {
   for (;;) {
     Thread* t = current_;
-    const sim::Nanos now = machine_.engine().now();
+    const sim::Nanos now = engine_.now();
     if (!t->action_active) {
       ThreadCtx ctx{kernel_, *t, wall_now(), t->last_admit_ok};
       t->action = t->behavior->next(ctx);
@@ -355,7 +356,7 @@ void CpuExecutor::start_action() {
 
 void CpuExecutor::finish_current_action() {
   Thread* t = current_;
-  const sim::Nanos now = machine_.engine().now();
+  const sim::Nanos now = engine_.now();
   if (now == last_complete_time_) {
     if (++completions_at_time_ > 200000) {
       throw std::logic_error("behavior livelock: zero-width action loop on cpu " +
@@ -382,7 +383,7 @@ void CpuExecutor::finish_current_action() {
 void CpuExecutor::begin_sched_call() {
   cpu_.set_interrupts_enabled(false);
   close_run_span();
-  const sim::Nanos now = machine_.engine().now();
+  const sim::Nanos now = engine_.now();
   const auto& cost = machine_.spec().cost;
   Thread* t = current_;
   Action a = std::move(t->action);
@@ -458,7 +459,7 @@ void CpuExecutor::notify_flag(Thread* t, WaitFlag* f) {
       !inflight_.valid()) {
     // Actively spinning right now: the spinner observes the flag after the
     // cache line propagates.
-    set_inflight(machine_.engine().now() +
+    set_inflight(engine_.now() +
                      cost_ns(machine_.spec().cost.spin_notice),
                  [this] {
                    finish_current_action();
@@ -475,7 +476,7 @@ void CpuExecutor::on_freeze() {
     freeze_pending_resume_ = false;
     return;
   }
-  const sim::Nanos now = machine_.engine().now();
+  const sim::Nanos now = engine_.now();
   clear_inflight();
   if (mode_ == Mode::kThread &&
       current_->action.kind == Action::Kind::kCompute) {
@@ -498,7 +499,7 @@ void CpuExecutor::on_unfreeze(sim::Nanos /*duration*/) {
   if (!freeze_pending_resume_) return;
   freeze_pending_resume_ = false;
   auto cont = std::move(stage_cont_);
-  set_inflight(machine_.engine().now() + freeze_resume_delay_,
+  set_inflight(engine_.now() + freeze_resume_delay_,
                std::move(cont));
 }
 

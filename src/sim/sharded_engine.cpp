@@ -1,0 +1,404 @@
+#include "sim/sharded_engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace hrt::sim {
+
+namespace {
+// Min-heap ordering for late-event entries: (when, band, seq).
+constexpr auto kLateAfter = [](const auto& a, const auto& b) {
+  if (a.when != b.when) return a.when > b.when;
+  if (a.band != b.band) return a.band > b.band;
+  return a.seq > b.seq;
+};
+}  // namespace
+
+ShardedEngine::ShardedEngine(const Config& cfg) {
+  domains_ = std::max(1u, cfg.domains);
+  std::uint32_t shards = std::max(1u, cfg.shards);
+  shards = std::min(shards, domains_);
+  lookahead_ = std::max<Nanos>(1, cfg.lookahead);
+  mode_ = cfg.commit;
+  domain_msg_seq_.assign(domains_, 0);
+  shards_.reserve(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    auto sh = std::make_unique<Shard>();
+    Engine& e = sh->engine;
+    e.owner_ = this;
+    e.shard_index_ = s;
+    if (mode_ == CommitMode::kSerial) {
+      // One committed clock, one FIFO counter: the ingredients of exact
+      // serial equivalence.
+      e.now_ptr_ = &now_;
+      e.seq_ptr_ = &seq_;
+    } else {
+      e.now_ptr_ = &sh->local_now;
+    }
+    shards_.push_back(std::move(sh));
+  }
+  if (shards_.size() > 1) {
+    pool_ = std::make_unique<WorkerPool>(
+        static_cast<unsigned>(shards_.size()));
+  }
+}
+
+ShardedEngine::~ShardedEngine() = default;
+
+std::uint32_t ShardedEngine::shard_of(Domain d) const {
+  const auto s_count = static_cast<std::uint32_t>(shards_.size());
+  if (d == kGlobalDomain || s_count == 1 || domains_ <= 1) return 0;
+  const std::uint64_t cpu = d - 1;  // CPU domains are 1..domains_-1
+  const auto s = static_cast<std::uint32_t>(cpu * s_count / (domains_ - 1));
+  return std::min(s, s_count - 1);
+}
+
+ShardedEngine::EventRef ShardedEngine::schedule_at(Domain d, Nanos when,
+                                                   Callback cb,
+                                                   EventBand band) {
+  const std::uint32_t s = shard_of(d);
+  return EventRef{s, shards_[s]->engine.schedule_at(when, std::move(cb), band)};
+}
+
+void ShardedEngine::cancel(EventRef& ref) {
+  if (!ref.valid()) return;
+  shards_[ref.shard]->engine.cancel(ref.id);
+  ref.reset();
+}
+
+void ShardedEngine::post(Domain src, Domain dst, Nanos when, Callback cb,
+                         EventBand band) {
+  if (mode_ == CommitMode::kSerial || !in_window_) {
+    // Serial-commit (or idle): plain scheduling on the destination shard is
+    // already exact — the late-event heap catches anything inside an
+    // in-flight window, and the shared FIFO counter keeps the global order.
+    engine_for(dst).schedule_at(when, std::move(cb), band);
+    return;
+  }
+  // Parallel-commit window: the destination shard may already be past
+  // `when` locally, so the lookahead contract is load-bearing here.
+  if (when < window_horizon_) {
+    throw std::logic_error(
+        "ShardedEngine::post: event below the window horizon violates the "
+        "conservative lookahead");
+  }
+  Shard& sh = *shards_[shard_of(src)];
+  sh.outbox.push_back(
+      Msg{when, domain_msg_seq_[src]++, src, dst,
+          static_cast<std::uint8_t>(band), std::move(cb)});
+}
+
+void ShardedEngine::note_schedule(std::uint32_t shard, Nanos when) {
+  Shard& sh = *shards_[shard];
+  if (when < sh.cached_next) sh.cached_next = when;
+}
+
+void ShardedEngine::note_late(std::uint32_t shard, std::uint32_t idx,
+                              std::uint32_t gen, Nanos when,
+                              std::uint8_t band, std::uint64_t seq) {
+  Shard& sh = *shards_[shard];
+  sh.late.push_back(LateEntry{when, seq, idx, gen, band});
+  std::push_heap(sh.late.begin(), sh.late.end(), kLateAfter);
+}
+
+Nanos ShardedEngine::global_next() const {
+  Nanos t = Engine::kNoEvent;
+  for (const auto& sh : shards_) t = std::min(t, sh->cached_next);
+  return t;
+}
+
+void ShardedEngine::stage_shard(Shard& sh, Nanos horizon) {
+  sh.staged.clear();
+  sh.cursor = 0;
+  sh.window_executed = 0;
+  if (sh.cached_next < horizon) {
+    sh.cached_next = sh.engine.stage_until(horizon, sh.staged);
+  }
+}
+
+bool ShardedEngine::peek_shard(Shard& sh, Cand& out) {
+  Engine& e = sh.engine;
+  // Staged-run head, lazily reclaiming commit-time cancellations.
+  while (sh.cursor < sh.staged.size()) {
+    const std::uint32_t idx = sh.staged[sh.cursor];
+    if (!e.pool_[idx].cancelled) break;
+    e.free_staged_cancelled(idx);
+    ++sh.cursor;
+  }
+  // Late-heap top, same treatment.
+  while (!sh.late.empty()) {
+    const LateEntry& t = sh.late.front();
+    assert(e.pool_[t.idx].gen == t.gen);
+    if (!e.pool_[t.idx].cancelled) break;
+    e.free_staged_cancelled(t.idx);
+    std::pop_heap(sh.late.begin(), sh.late.end(), kLateAfter);
+    sh.late.pop_back();
+  }
+  const bool has_staged = sh.cursor < sh.staged.size();
+  const bool has_late = !sh.late.empty();
+  if (!has_staged && !has_late) return false;
+  bool use_late = has_late;
+  if (has_staged && has_late) {
+    const auto& n = e.pool_[sh.staged[sh.cursor]];
+    const LateEntry& t = sh.late.front();
+    use_late = (t.when != n.when)   ? t.when < n.when
+               : (t.band != n.band) ? t.band < n.band
+                                    : t.seq < n.seq;
+  }
+  if (use_late) {
+    const LateEntry& t = sh.late.front();
+    out = Cand{t.when, t.seq, t.idx, t.band, true};
+  } else {
+    const std::uint32_t idx = sh.staged[sh.cursor];
+    const auto& n = e.pool_[idx];
+    out = Cand{n.when, n.seq, idx, n.band, false};
+  }
+  return true;
+}
+
+void ShardedEngine::consume(Shard& sh, const Cand& c) {
+  if (c.from_late) {
+    std::pop_heap(sh.late.begin(), sh.late.end(), kLateAfter);
+    sh.late.pop_back();
+  } else {
+    ++sh.cursor;
+  }
+}
+
+std::uint64_t ShardedEngine::commit_serial(Nanos horizon) {
+  for (auto& sh : shards_) sh->engine.commit_horizon_ = horizon;
+  std::uint64_t n = 0;
+  try {
+    for (;;) {
+      // S-way merge of staged runs and late heaps by (when, band, seq).
+      // S is small (<= host cores), so a linear scan per event beats
+      // maintaining a loser tree.
+      Cand best;
+      Shard* best_sh = nullptr;
+      for (auto& sp : shards_) {
+        Cand c;
+        if (!peek_shard(*sp, c)) continue;
+        const bool wins =
+            best_sh == nullptr || c.when < best.when ||
+            (c.when == best.when &&
+             (c.band < best.band ||
+              (c.band == best.band && c.seq < best.seq)));
+        if (wins) {
+          best = c;
+          best_sh = sp.get();
+        }
+      }
+      if (best_sh == nullptr) break;
+      consume(*best_sh, best);
+      now_ = best.when;
+      Callback cb = best_sh->engine.take_staged(best.idx);
+      ++n;
+      cb();
+    }
+  } catch (...) {
+    for (auto& sh : shards_) {
+      sh->engine.commit_horizon_ = Engine::kNotCommitting;
+    }
+    throw;
+  }
+  for (auto& sh : shards_) sh->engine.commit_horizon_ = Engine::kNotCommitting;
+  return n;
+}
+
+void ShardedEngine::commit_shard(Shard& sh, Nanos horizon) {
+  Engine& e = sh.engine;
+  e.commit_horizon_ = horizon;
+  try {
+    Cand c;
+    while (peek_shard(sh, c)) {
+      consume(sh, c);
+      sh.local_now = c.when;
+      Callback cb = e.take_staged(c.idx);
+      ++sh.window_executed;
+      cb();
+    }
+  } catch (...) {
+    e.commit_horizon_ = Engine::kNotCommitting;
+    throw;
+  }
+  e.commit_horizon_ = Engine::kNotCommitting;
+}
+
+void ShardedEngine::drain_outboxes() {
+  inject_scratch_.clear();
+  for (auto& sh : shards_) {
+    for (auto& m : sh->outbox) inject_scratch_.push_back(std::move(m));
+    sh->outbox.clear();
+  }
+  if (inject_scratch_.empty()) return;
+  // Sort by (when, band, src domain, per-source FIFO) — a total order that
+  // does not depend on the domain→shard mapping, so injection (and the
+  // destination-local seq numbers it assigns) is identical across shard
+  // counts.
+  std::sort(inject_scratch_.begin(), inject_scratch_.end(),
+            [](const Msg& a, const Msg& b) {
+              if (a.when != b.when) return a.when < b.when;
+              if (a.band != b.band) return a.band < b.band;
+              if (a.src != b.src) return a.src < b.src;
+              return a.src_seq < b.src_seq;
+            });
+  for (auto& m : inject_scratch_) {
+    engine_for(m.dst).schedule_at(m.when, std::move(m.cb),
+                                  static_cast<EventBand>(m.band));
+  }
+  inject_scratch_.clear();
+}
+
+std::uint64_t ShardedEngine::run_window(Nanos horizon) {
+  const std::size_t s_count = shards_.size();
+  in_window_ = true;
+  window_horizon_ = horizon;
+  std::uint64_t executed = 0;
+  try {
+    unsigned busy = 0;
+    for (const auto& sh : shards_) busy += (sh->cached_next < horizon) ? 1 : 0;
+    if (mode_ == CommitMode::kSerial) {
+      if (pool_ && busy >= 2) {
+        ++parallel_dispatches_;
+        pool_->for_stripes(s_count, [&](std::size_t i) {
+          stage_shard(*shards_[i], horizon);
+        });
+      } else {
+        // Sparse window: dispatching the pool would cost more than the
+        // staging itself.
+        for (auto& sh : shards_) stage_shard(*sh, horizon);
+      }
+      executed = commit_serial(horizon);
+    } else {
+      // Stage and commit fuse into one dispatch: a shard's commit touches
+      // only its own wheel/state, so it need not wait for other shards'
+      // staging.  Cross-shard sends are buffered until the barrier below.
+      auto job = [&](std::size_t i) {
+        Shard& sh = *shards_[i];
+        stage_shard(sh, horizon);
+        commit_shard(sh, horizon);
+      };
+      if (pool_ && busy >= 2) {
+        ++parallel_dispatches_;
+        pool_->for_stripes(s_count, job);
+      } else {
+        for (std::size_t i = 0; i < s_count; ++i) job(i);
+      }
+      for (const auto& sh : shards_) {
+        executed += sh->window_executed;
+        if (sh->local_now > now_) now_ = sh->local_now;
+      }
+      drain_outboxes();
+    }
+  } catch (...) {
+    for (auto& sh : shards_) {
+      sh->engine.commit_horizon_ = Engine::kNotCommitting;
+    }
+    in_window_ = false;
+    throw;
+  }
+  in_window_ = false;
+  ++windows_;
+  return executed;
+}
+
+std::uint64_t ShardedEngine::run_until(Nanos t_end) {
+  if (running_) {
+    throw std::logic_error("ShardedEngine: re-entrant run_until");
+  }
+  running_ = true;
+  std::uint64_t total = 0;
+  try {
+    for (;;) {
+      const Nanos T = global_next();
+      if (T == Engine::kNoEvent || T > t_end) break;
+      // Events at exactly t_end still run: the final window's horizon is
+      // t_end + 1 (exclusive).
+      const Nanos horizon =
+          (t_end - T >= lookahead_) ? T + lookahead_ : t_end + 1;
+      total += run_window(horizon);
+    }
+  } catch (...) {
+    running_ = false;
+    throw;
+  }
+  running_ = false;
+  if (now_ < t_end) now_ = t_end;
+  if (mode_ == CommitMode::kParallel) {
+    for (auto& sh : shards_) sh->local_now = now_;
+  }
+  return total;
+}
+
+std::uint64_t ShardedEngine::run_all() {
+  if (running_) {
+    throw std::logic_error("ShardedEngine: re-entrant run_all");
+  }
+  running_ = true;
+  std::uint64_t total = 0;
+  try {
+    for (;;) {
+      const Nanos T = global_next();
+      if (T == Engine::kNoEvent) break;
+      const Nanos horizon = (T > Engine::kNoEvent - lookahead_)
+                                ? Engine::kNoEvent
+                                : T + lookahead_;
+      total += run_window(horizon);
+    }
+  } catch (...) {
+    running_ = false;
+    throw;
+  }
+  running_ = false;
+  if (mode_ == CommitMode::kParallel) {
+    for (auto& sh : shards_) sh->local_now = now_;
+  }
+  return total;
+}
+
+bool ShardedEngine::step() {
+  if (running_) throw std::logic_error("ShardedEngine: re-entrant step");
+  running_ = true;
+  bool ran = false;
+  try {
+    for (;;) {
+      const Nanos T = global_next();
+      if (T == Engine::kNoEvent) break;
+      // A stale cached_next can yield an empty window; loop until an event
+      // actually runs (each window tightens cached_next, so this makes
+      // progress).
+      if (run_window(T + 1) > 0) {
+        ran = true;
+        break;
+      }
+    }
+  } catch (...) {
+    running_ = false;
+    throw;
+  }
+  running_ = false;
+  if (ran && mode_ == CommitMode::kParallel) {
+    for (auto& sh : shards_) {
+      if (sh->local_now < now_) sh->local_now = now_;
+    }
+  }
+  return ran;
+}
+
+bool ShardedEngine::empty() const { return pending_count() == 0; }
+
+std::uint64_t ShardedEngine::pending_count() const {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) n += sh->engine.live_count_;
+  return n;
+}
+
+std::uint64_t ShardedEngine::events_executed() const {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) n += sh->engine.executed_;
+  return n;
+}
+
+}  // namespace hrt::sim

@@ -1,0 +1,239 @@
+// Sharded deterministic discrete-event engine.
+//
+// Partitions the event population into per-shard timer wheels (sim::Engine
+// instances) and advances simulated time in conservative-lookahead windows:
+// if L is the minimum latency of any cross-shard interaction (for a
+// simulated machine, hw::MachineSpec::ipi_latency_ns), then every event a
+// callback executing at time t can create on *another* shard lands at
+// t' >= t + L.  Events in the window [T, T + L) — where T is the global
+// next-event time — therefore cannot be created by other events in the same
+// window across shards, so all shards can harvest their window contents
+// concurrently without seeing each other's effects early.
+//
+// Execution of a window has two phases:
+//
+//   STAGE  (parallel)  Each shard pops every pending event with
+//                      when < horizon from its own wheel, in (when, band,
+//                      seq) order, into a per-shard staged run.  Touches
+//                      only shard-local state; embarrassingly parallel.
+//   COMMIT             Two modes:
+//     * kSerial   — the coordinator merges the staged runs (plus any
+//                   late-scheduled events, see below) by (when, band, seq)
+//                   and executes callbacks one at a time on one thread.
+//                   Because every shard shares the owner's committed clock
+//                   and one global FIFO counter, the execution order is
+//                   *exactly* the order a single serial sim::Engine would
+//                   produce — bit-identical traces by construction, for
+//                   arbitrary callbacks touching arbitrary shared state
+//                   (the full simulated kernel).  Parallelism comes from
+//                   the stage phase: wheel maintenance — slot draining,
+//                   far-heap migration, heap pops, tombstone reclamation —
+//                   is the bulk of engine work and runs on all cores.
+//     * kParallel — each shard executes its own staged run concurrently.
+//                   Requires shard-confined callbacks (a callback may only
+//                   touch state and schedule events belonging to its own
+//                   shard's domains; cross-shard communication must go
+//                   through post()).  Used by the scaling benchmark and
+//                   any workload partitioned by construction.
+//
+// Late events — scheduled by an executing callback for a time still inside
+// the current window — are intercepted at schedule time (the shard's
+// containers for [T, horizon) were already drained) and pushed onto a
+// per-shard late-event min-heap that the commit merge consults alongside
+// the staged runs.  This is what makes the serial-commit mode exact: an
+// event scheduled at time t for time t' ∈ [t, horizon) is executed in its
+// correct (when, band, seq) slot within the same window, just as the serial
+// engine would.
+//
+// Cross-shard messages in parallel-commit mode are buffered in per-shard
+// outboxes during the window and injected at the barrier, sorted by
+// (when, band, src_domain, src_seq) — an order independent of the
+// domain→shard mapping, so parallel-commit results are identical across
+// shard counts for shard-confined workloads.
+//
+// Domains: scheduling is addressed by a small integer domain, not a shard.
+// Domain 0 is the global domain (machine-wide hardware: SMI source, GPIO,
+// devices) pinned to shard 0; a simulated machine maps CPU c to domain
+// c + 1.  Domains are block-partitioned across shards so the domain→shard
+// mapping is stable and cheap.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/worker_pool.hpp"
+
+namespace hrt::sim {
+
+class ShardedEngine {
+ public:
+  using Domain = std::uint32_t;
+  static constexpr Domain kGlobalDomain = 0;
+
+  enum class CommitMode : std::uint8_t {
+    kSerial,    // exact serial equivalence; parallel staging only
+    kParallel,  // parallel callback execution; shard-confined workloads
+  };
+
+  struct Config {
+    std::uint32_t shards = 1;   // host-parallel wheel shards (>= 1)
+    std::uint32_t domains = 1;  // scheduling domains incl. kGlobalDomain
+    Nanos lookahead = 1;        // min cross-shard event latency (> 0)
+    CommitMode commit = CommitMode::kSerial;
+  };
+
+  explicit ShardedEngine(const Config& cfg);
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+  ~ShardedEngine();
+
+  [[nodiscard]] Nanos now() const { return now_; }
+  [[nodiscard]] std::uint32_t num_shards() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  [[nodiscard]] std::uint32_t num_domains() const { return domains_; }
+  [[nodiscard]] Nanos lookahead() const { return lookahead_; }
+  [[nodiscard]] CommitMode commit_mode() const { return mode_; }
+
+  /// Stable domain → shard mapping (block partition; domain 0 → shard 0).
+  [[nodiscard]] std::uint32_t shard_of(Domain d) const;
+
+  /// Direct access to a shard's engine.  Scheduling on it participates in
+  /// the sharded run (its run_*/now()/seq draw from this owner), so
+  /// components can hold a plain `sim::Engine&` and never know they are
+  /// sharded.
+  [[nodiscard]] Engine& shard(std::uint32_t s) { return shards_[s]->engine; }
+  [[nodiscard]] Engine& engine_for(Domain d) {
+    return shards_[shard_of(d)]->engine;
+  }
+
+  /// Cancellation handle: EventIds are shard-local, so the shard index
+  /// travels with the id.
+  struct EventRef {
+    std::uint32_t shard = 0;
+    EventId id;
+    [[nodiscard]] bool valid() const { return id.valid(); }
+    void reset() { id.reset(); }
+  };
+
+  EventRef schedule_at(Domain d, Nanos when, Callback cb,
+                       EventBand band = EventBand::kDefault);
+  EventRef schedule_after(Domain d, Nanos delay, Callback cb,
+                          EventBand band = EventBand::kDefault) {
+    return schedule_at(d, now_ + delay, std::move(cb), band);
+  }
+  void cancel(EventRef& ref);
+
+  /// Cross-domain event hand-off.  In serial-commit mode (or outside a run)
+  /// this is plain scheduling on the destination shard.  In parallel-commit
+  /// windows it buffers the event in the source shard's outbox for sorted
+  /// injection at the window barrier; `when` must respect the lookahead
+  /// (when >= window horizon) or std::logic_error is thrown.
+  void post(Domain src, Domain dst, Nanos when, Callback cb,
+            EventBand band = EventBand::kDefault);
+
+  /// Same semantics as Engine::run_until / run_all: events at exactly t_end
+  /// run; afterwards now() == t_end.
+  std::uint64_t run_until(Nanos t_end);
+  std::uint64_t run_all();
+
+  /// Executes every event at the earliest pending timestamp (one window of
+  /// width 1 ns).  NOTE: unlike Engine::step this may run several events if
+  /// they tie on `when`.  Returns false when no events are pending.
+  bool step();
+
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] std::uint64_t pending_count() const;
+  [[nodiscard]] std::uint64_t events_executed() const;
+
+  // Introspection for benches/tests.
+  [[nodiscard]] std::uint64_t windows_run() const { return windows_; }
+  [[nodiscard]] std::uint64_t parallel_stage_dispatches() const {
+    return parallel_dispatches_;
+  }
+
+ private:
+  friend class Engine;
+
+  // A callback scheduled this event into the in-flight commit window; the
+  // merge consults these heaps alongside the staged runs.
+  struct LateEntry {
+    Nanos when = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t idx = 0;
+    std::uint32_t gen = 0;
+    std::uint8_t band = 0;
+  };
+
+  // Parallel-commit cross-shard message, buffered until the window barrier.
+  struct Msg {
+    Nanos when = 0;
+    std::uint64_t src_seq = 0;  // per-source-domain FIFO counter
+    Domain src = 0;
+    Domain dst = 0;
+    std::uint8_t band = 0;
+    Callback cb;
+  };
+
+  struct Shard {
+    Engine engine;
+    Nanos local_now = 0;  // parallel-commit per-shard clock
+    // Exact next-event time after stage_until; a monotone lower bound
+    // otherwise (schedules min it in, cancels may leave it stale-low,
+    // which costs at most one empty window).
+    Nanos cached_next = Engine::kNoEvent;
+    std::vector<std::uint32_t> staged;  // this window's run (pool indices)
+    std::size_t cursor = 0;
+    std::vector<LateEntry> late;  // min-heap by (when, band, seq)
+    std::vector<Msg> outbox;      // parallel-commit cross-shard sends
+    std::uint64_t window_executed = 0;
+    // Keep concurrently-staged shards off each other's cache lines.
+    alignas(64) char pad_[1] = {};
+  };
+
+  // Engine hooks (called from schedule_impl via friendship).
+  void note_schedule(std::uint32_t shard, Nanos when);
+  void note_late(std::uint32_t shard, std::uint32_t idx, std::uint32_t gen,
+                 Nanos when, std::uint8_t band, std::uint64_t seq);
+
+  [[nodiscard]] Nanos global_next() const;
+  std::uint64_t run_window(Nanos horizon);
+  void stage_shard(Shard& sh, Nanos horizon);
+  std::uint64_t commit_serial(Nanos horizon);
+  void commit_shard(Shard& sh, Nanos horizon);
+  void drain_outboxes();
+
+  // Next candidate (staged-run head vs late-heap top) for one shard;
+  // lazily reclaims tombstones.  Returns false if the shard's window work
+  // is exhausted.
+  struct Cand {
+    Nanos when = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t idx = 0;
+    std::uint8_t band = 0;
+    bool from_late = false;
+  };
+  static bool peek_shard(Shard& sh, Cand& out);
+  static void consume(Shard& sh, const Cand& c);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<WorkerPool> pool_;
+  std::uint32_t domains_ = 1;
+  Nanos lookahead_ = 1;
+  CommitMode mode_ = CommitMode::kSerial;
+
+  Nanos now_ = 0;
+  std::uint64_t seq_ = 1;  // shared FIFO counter (serial-commit mode)
+  bool running_ = false;
+  bool in_window_ = false;
+  Nanos window_horizon_ = 0;
+  std::vector<std::uint64_t> domain_msg_seq_;  // per-domain post() FIFO
+  std::vector<Msg> inject_scratch_;
+
+  std::uint64_t windows_ = 0;
+  std::uint64_t parallel_dispatches_ = 0;
+};
+
+}  // namespace hrt::sim

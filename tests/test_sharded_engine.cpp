@@ -1,0 +1,521 @@
+// Sharded deterministic simulation engine (sim/sharded_engine.hpp) and the
+// shared host worker pool (sim/worker_pool.hpp).
+//
+// The load-bearing claims under test:
+//   1. Serial-commit ShardedEngine executes the EXACT (when, band, seq)
+//      order of the serial Engine and the seed LegacyEngine — fuzzed over
+//      randomized schedule/cancel/reschedule workloads including
+//      cross-domain IPI storms and same-timestamp band ties, at shard
+//      counts {1, 2, 4, 8}.
+//   2. Full-kernel scenarios (fig06-style miss-rate cells, fig12-style
+//      group sync) produce byte-identical sim::Trace output across host
+//      thread counts {1, 2, 4, 8} and across repeated runs, and the EDF
+//      replay oracle validates sharded traces unchanged.
+//   3. Parallel-commit mode is deterministic across shard counts for
+//      shard-confined workloads, and enforces the conservative-lookahead
+//      contract on cross-shard posts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "audit/replay.hpp"
+#include "group/group_admission.hpp"
+#include "rt/system.hpp"
+#include "sim/engine.hpp"
+#include "sim/legacy_engine.hpp"
+#include "sim/sharded_engine.hpp"
+#include "sim/worker_pool.hpp"
+
+namespace hrt {
+namespace {
+
+// ---------- WorkerPool ----------
+
+TEST(WorkerPool, DynamicCoversEveryIndexExactlyOnce) {
+  sim::WorkerPool pool(4);
+  EXPECT_EQ(pool.threads(), 4u);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(WorkerPool, StripedCoversEveryIndexExactlyOnce) {
+  sim::WorkerPool pool(4);
+  std::vector<std::atomic<int>> hits(257);  // not a multiple of the stride
+  pool.for_stripes(hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(WorkerPool, SingleThreadRunsInline) {
+  sim::WorkerPool pool(1);
+  EXPECT_EQ(pool.threads(), 1u);
+  int sum = 0;
+  pool.parallel_for(10, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(WorkerPool, ExceptionPropagatesAndPoolStaysUsable) {
+  sim::WorkerPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 37) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  std::atomic<int> n{0};
+  pool.parallel_for(100, [&](std::size_t) { ++n; });
+  EXPECT_EQ(n.load(), 100);
+}
+
+// ---------- Cross-engine equivalence fuzz ----------
+
+// One executed event: (when, band, tag).  Identical sequences across
+// backends == identical pop order.
+struct PopRecord {
+  sim::Nanos when;
+  int band;
+  std::uint64_t tag;
+  bool operator==(const PopRecord& o) const {
+    return when == o.when && band == o.band && tag == o.tag;
+  }
+};
+
+constexpr sim::Nanos kIpiLat = 400;  // fuzz lookahead / cross-domain latency
+constexpr std::uint32_t kFuzzDomains = 9;  // global + 8 CPUs
+
+// A backend executes the shared op stream against one engine type.  The op
+// stream is addressed by (domain, slot): slots identify cancellable
+// handles uniformly across backends.
+class FuzzBackend {
+ public:
+  virtual ~FuzzBackend() = default;
+  virtual void schedule(std::uint32_t domain, sim::Nanos when,
+                        sim::EventBand band, std::uint64_t tag,
+                        int action) = 0;
+  virtual void cancel_slot(std::size_t slot) = 0;
+  virtual void run_until(sim::Nanos t) = 0;
+  virtual std::size_t slots() const = 0;
+  std::vector<PopRecord> log;
+
+ protected:
+  // Callback actions exercised from inside event execution:
+  //   0: none
+  //   1: reschedule on the same domain at now + 1 (late-event path)
+  //   2: "IPI": schedule on the next domain at now + kIpiLat
+  //   3: cancel the most recent still-live slot
+  static constexpr int kNone = 0, kLate = 1, kIpi = 2, kCancel = 3;
+};
+
+template <typename EngineT>
+class SerialBackend : public FuzzBackend {
+ public:
+  void schedule(std::uint32_t domain, sim::Nanos when, sim::EventBand band,
+                std::uint64_t tag, int action) override {
+    ids_.push_back(eng_.schedule_at(
+        when, [this, domain, when, band, tag, action] {
+          on_fire(domain, when, band, tag, action);
+        },
+        band));
+  }
+  void cancel_slot(std::size_t slot) override { eng_.cancel(ids_[slot]); }
+  void run_until(sim::Nanos t) override { eng_.run_until(t); }
+  std::size_t slots() const override { return ids_.size(); }
+
+ private:
+  void on_fire(std::uint32_t domain, sim::Nanos when, sim::EventBand band,
+               std::uint64_t tag, int action) {
+    log.push_back(PopRecord{when, static_cast<int>(band), tag});
+    if (action == kLate) {
+      schedule(domain, eng_.now() + 1, sim::EventBand::kDefault, tag ^ 0x10,
+               kNone);
+    } else if (action == kIpi) {
+      schedule((domain + 1) % kFuzzDomains, eng_.now() + kIpiLat,
+               sim::EventBand::kHardware, tag ^ 0x20, kNone);
+    } else if (action == kCancel && !ids_.empty()) {
+      eng_.cancel(ids_.back());
+    }
+  }
+  EngineT eng_;
+  std::vector<sim::EventId> ids_;
+};
+
+class ShardedBackend : public FuzzBackend {
+ public:
+  explicit ShardedBackend(std::uint32_t shards)
+      : eng_(make_config(shards)) {}
+
+  void schedule(std::uint32_t domain, sim::Nanos when, sim::EventBand band,
+                std::uint64_t tag, int action) override {
+    refs_.push_back(eng_.schedule_at(
+        domain, when,
+        [this, domain, when, band, tag, action] {
+          on_fire(domain, when, band, tag, action);
+        },
+        band));
+  }
+  void cancel_slot(std::size_t slot) override { eng_.cancel(refs_[slot]); }
+  void run_until(sim::Nanos t) override { eng_.run_until(t); }
+  std::size_t slots() const override { return refs_.size(); }
+
+ private:
+  static sim::ShardedEngine::Config make_config(std::uint32_t shards) {
+    sim::ShardedEngine::Config cfg;
+    cfg.shards = shards;
+    cfg.domains = kFuzzDomains;
+    cfg.lookahead = kIpiLat;
+    cfg.commit = sim::ShardedEngine::CommitMode::kSerial;
+    return cfg;
+  }
+  void on_fire(std::uint32_t domain, sim::Nanos when, sim::EventBand band,
+               std::uint64_t tag, int action) {
+    log.push_back(PopRecord{when, static_cast<int>(band), tag});
+    if (action == kLate) {
+      schedule(domain, eng_.now() + 1, sim::EventBand::kDefault, tag ^ 0x10,
+               kNone);
+    } else if (action == kIpi) {
+      schedule((domain + 1) % kFuzzDomains, eng_.now() + kIpiLat,
+               sim::EventBand::kHardware, tag ^ 0x20, kNone);
+    } else if (action == kCancel && !refs_.empty()) {
+      eng_.cancel(refs_.back());
+    }
+  }
+  sim::ShardedEngine eng_;
+  std::vector<sim::ShardedEngine::EventRef> refs_;
+};
+
+// Drive one deterministic op stream into `b`.  Same seed -> same stream.
+void drive_fuzz(FuzzBackend& b, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  sim::Nanos t = 0;
+  std::uint64_t tag = 0;
+  for (int batch = 0; batch < 40; ++batch) {
+    const int ops = 1 + static_cast<int>(rng() % 64);
+    for (int i = 0; i < ops; ++i) {
+      const std::uint64_t r = rng();
+      if (r % 100 < 12 && b.slots() > 0) {
+        b.cancel_slot(rng() % b.slots());
+        continue;
+      }
+      // Round timestamps force same-(when) collisions so band/seq
+      // tie-breaks carry the ordering.
+      sim::Nanos when = t + static_cast<sim::Nanos>(rng() % 5000);
+      if (r % 100 < 30) when &= ~sim::Nanos{63};
+      if (when < t) when = t;
+      const auto band = static_cast<sim::EventBand>(rng() % 4);
+      const auto domain = static_cast<std::uint32_t>(rng() % kFuzzDomains);
+      const int action = static_cast<int>(rng() % 4);
+      b.schedule(domain, when, band, ++tag, action);
+    }
+    t += static_cast<sim::Nanos>(500 + rng() % 3000);
+    b.run_until(t);
+  }
+  b.run_until(t + sim::millis(1));  // drain stragglers
+}
+
+TEST(ShardedEngineFuzz, PopOrderMatchesSerialAndLegacyEngines) {
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull, 1234ull}) {
+    SerialBackend<sim::LegacyEngine> legacy;
+    SerialBackend<sim::Engine> wheel;
+    drive_fuzz(legacy, seed);
+    drive_fuzz(wheel, seed);
+    ASSERT_EQ(wheel.log.size(), legacy.log.size()) << "seed " << seed;
+    ASSERT_TRUE(wheel.log == legacy.log) << "seed " << seed;
+    for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+      ShardedBackend sharded(shards);
+      drive_fuzz(sharded, seed);
+      ASSERT_EQ(sharded.log.size(), wheel.log.size())
+          << "seed " << seed << " shards " << shards;
+      ASSERT_TRUE(sharded.log == wheel.log)
+          << "seed " << seed << " shards " << shards;
+    }
+  }
+}
+
+TEST(ShardedEngine, RunSemanticsMatchSerialEngine) {
+  // now() advances to t_end, events at exactly t_end run, counters agree.
+  sim::Engine serial;
+  sim::ShardedEngine::Config cfg;
+  cfg.shards = 4;
+  cfg.domains = kFuzzDomains;
+  cfg.lookahead = kIpiLat;
+  sim::ShardedEngine sharded(cfg);
+
+  int serial_fired = 0;
+  int sharded_fired = 0;
+  serial.schedule_at(1000, [&] { ++serial_fired; });
+  serial.schedule_at(2000, [&] { ++serial_fired; });
+  sharded.schedule_at(3, 1000, [&] { ++sharded_fired; });
+  sharded.schedule_at(5, 2000, [&] { ++sharded_fired; });
+
+  EXPECT_EQ(serial.run_until(1000), 1u);
+  EXPECT_EQ(sharded.run_until(1000), 1u);
+  EXPECT_EQ(serial.now(), sharded.now());
+  EXPECT_EQ(serial.pending_count(), sharded.pending_count());
+  EXPECT_EQ(serial.run_until(5000), 1u);
+  EXPECT_EQ(sharded.run_until(5000), 1u);
+  EXPECT_EQ(serial.now(), 5000);
+  EXPECT_EQ(sharded.now(), 5000);
+  EXPECT_TRUE(sharded.empty());
+  EXPECT_EQ(sharded.events_executed(), 2u);
+  EXPECT_EQ(sharded_fired, serial_fired);
+
+  // Shard-0 delegation: components holding a plain Engine& drive the whole
+  // sharded run through it.
+  sim::Engine& front = sharded.shard(0);
+  sharded.schedule_at(2, 6000, [&] { ++sharded_fired; });
+  EXPECT_FALSE(front.empty());
+  EXPECT_EQ(front.pending_count(), 1u);
+  EXPECT_EQ(front.run_until(7000), 1u);
+  EXPECT_EQ(front.now(), 7000);
+  EXPECT_EQ(sharded_fired, 3);
+  EXPECT_EQ(front.events_executed(), 3u);
+}
+
+// ---------- Full-kernel determinism fingerprints ----------
+
+std::string trace_bytes(const sim::Trace& trace) {
+  std::ostringstream os;
+  for (const auto& r : trace.records()) {
+    os << r.time << '|' << r.cpu << '|' << static_cast<int>(r.kind) << '|'
+       << r.value << '\n';
+  }
+  return os.str();
+}
+
+std::unique_ptr<nk::FnBehavior> rt_worker(rt::Constraints c) {
+  return std::make_unique<nk::FnBehavior>(
+      [c](nk::ThreadCtx&, std::uint64_t step) {
+        if (step == 0) return nk::Action::change_constraints(c);
+        return nk::Action::compute(sim::millis(2));
+      });
+}
+
+struct KernelFingerprint {
+  std::string trace;
+  std::uint64_t events = 0;
+  sim::Nanos end = 0;
+  std::vector<std::uint64_t> thread_stats;
+  bool operator==(const KernelFingerprint& o) const {
+    return trace == o.trace && events == o.events && end == o.end &&
+           thread_stats == o.thread_stats;
+  }
+};
+
+// fig06-style miss-rate cell: phi_small machine, periodic RT workers with
+// distinct periods/slices (one infeasible mix), SMIs enabled.
+KernelFingerprint run_fig06_style(unsigned host_threads) {
+  System::Options o;
+  o.spec = hw::MachineSpec::phi_small(4);
+  o.seed = 1234;
+  o.sched.admission_enabled = false;
+  o.sim_host_threads = host_threads;
+  System sys(std::move(o));
+  sys.machine().trace().enable();
+  sys.boot();
+  std::vector<nk::Thread*> threads;
+  threads.push_back(sys.spawn(
+      "a",
+      rt_worker(rt::Constraints::periodic(sim::millis(1), sim::micros(450),
+                                          sim::micros(100))),
+      1));
+  threads.push_back(sys.spawn(
+      "b",
+      rt_worker(rt::Constraints::periodic(sim::micros(500), sim::micros(250),
+                                          sim::micros(50))),
+      2));
+  threads.push_back(sys.spawn(
+      "c",
+      rt_worker(rt::Constraints::periodic(sim::millis(2), sim::millis(1),
+                                          sim::micros(200))),
+      3));
+  sys.run_for(sim::millis(50));
+  if (host_threads > 1) {
+    // The sharded path must actually be engaged, windows and all.
+    EXPECT_NE(sys.machine().sharded(), nullptr);
+    EXPECT_GT(sys.machine().num_shards(), 1u);
+    EXPECT_GT(sys.machine().sharded()->windows_run(), 0u);
+  }
+  KernelFingerprint fp;
+  fp.trace = trace_bytes(sys.machine().trace());
+  fp.events = sys.engine().events_executed();
+  fp.end = sys.engine().now();
+  for (auto* t : threads) {
+    fp.thread_stats.push_back(t->rt.arrivals);
+    fp.thread_stats.push_back(t->rt.completions);
+    fp.thread_stats.push_back(t->rt.misses);
+    fp.thread_stats.push_back(static_cast<std::uint64_t>(t->total_cpu_ns));
+  }
+  return fp;
+}
+
+TEST(DeterminismFingerprint, Fig06StyleBitIdenticalAcrossHostThreads) {
+  const KernelFingerprint baseline = run_fig06_style(1);
+  ASSERT_FALSE(baseline.trace.empty());
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    const KernelFingerprint fp = run_fig06_style(threads);
+    EXPECT_EQ(fp.trace, baseline.trace) << "host_threads=" << threads;
+    EXPECT_TRUE(fp == baseline) << "host_threads=" << threads;
+  }
+  // Repeated runs at the same thread count are also identical.
+  EXPECT_TRUE(run_fig06_style(4) == run_fig06_style(4));
+}
+
+// fig12-style group sync: a hard real-time group spanning CPUs, admitted
+// through the full group protocol, generating cross-CPU kick IPIs — the
+// cross-shard traffic the mailbox/late-event machinery must order exactly.
+KernelFingerprint run_fig12_style(unsigned host_threads) {
+  constexpr std::uint32_t kMembers = 4;
+  System::Options o;
+  o.spec = hw::MachineSpec::phi_small(kMembers + 2);
+  o.seed = 99;
+  o.sim_host_threads = host_threads;
+  System sys(std::move(o));
+  sys.machine().trace().enable();
+  sys.boot();
+  grp::ThreadGroup* group = sys.groups().create("sync", kMembers);
+  const sim::Nanos phase = sim::millis(2) + kMembers * sim::micros(60);
+  for (std::uint32_t r = 0; r < kMembers; ++r) {
+    auto inner = std::make_unique<nk::BusyLoopBehavior>(sim::micros(20));
+    auto b = std::make_unique<grp::GroupAdmitThenBehavior>(
+        *group,
+        rt::Constraints::periodic(phase, sim::micros(100), sim::micros(50)),
+        std::move(inner));
+    sys.spawn("s" + std::to_string(r), std::move(b), 1 + r);
+  }
+  sys.run_for(sim::millis(30));
+  KernelFingerprint fp;
+  fp.trace = trace_bytes(sys.machine().trace());
+  fp.events = sys.engine().events_executed();
+  fp.end = sys.engine().now();
+  return fp;
+}
+
+TEST(DeterminismFingerprint, Fig12StyleBitIdenticalAcrossHostThreads) {
+  const KernelFingerprint baseline = run_fig12_style(1);
+  ASSERT_FALSE(baseline.trace.empty());
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    EXPECT_TRUE(run_fig12_style(threads) == baseline)
+        << "host_threads=" << threads;
+  }
+}
+
+// The EDF replay oracle consumes a sharded trace unchanged: the schedule a
+// 4-shard machine produced is the schedule the serial oracle re-derives.
+TEST(ShardedReplay, OracleValidatesShardedTrace) {
+  System::Options o;
+  o.spec = hw::MachineSpec::phi_small(4);
+  o.smi_enabled = false;
+  o.spec.smi.enabled = false;
+  o.audit.enabled = true;
+  o.sim_host_threads = 4;
+  System sys(std::move(o));
+  sys.machine().trace().enable();
+  sys.boot();
+  nk::Thread* a = sys.spawn(
+      "a",
+      rt_worker(rt::Constraints::periodic(sim::millis(1), sim::micros(100),
+                                          sim::micros(20))),
+      1);
+  nk::Thread* b = sys.spawn(
+      "b",
+      rt_worker(rt::Constraints::periodic(sim::millis(1), sim::micros(250),
+                                          sim::micros(50))),
+      1);
+  sys.run_for(sim::millis(50));
+
+  const std::vector<audit::ReplayTask> tasks = {
+      {a->id, a->constraints, a->rt.gamma},
+      {b->id, b->constraints, b->rt.gamma},
+  };
+  const audit::ReplayConfig cfg = audit::replay_config_for(sys.machine().spec());
+  audit::ReplayResult r = audit::replay_edf(sys.machine().trace(), 1, tasks,
+                                            cfg, sys.engine().now());
+  for (const auto& d : r.divergences) {
+    ADD_FAILURE() << "t=" << d.time << "ns: " << d.detail;
+  }
+  EXPECT_TRUE(r.ok());
+  ASSERT_NE(r.find(a->id), nullptr);
+  EXPECT_GT(r.find(a->id)->arrivals, 400u);
+}
+
+// ---------- Parallel-commit mode ----------
+
+sim::ShardedEngine::Config parallel_cfg(std::uint32_t shards,
+                                        std::uint32_t domains) {
+  sim::ShardedEngine::Config cfg;
+  cfg.shards = shards;
+  cfg.domains = domains;
+  cfg.lookahead = kIpiLat;
+  cfg.commit = sim::ShardedEngine::CommitMode::kParallel;
+  return cfg;
+}
+
+// Shard-confined workload: every domain runs a self-rescheduling timer
+// chain and occasionally posts to a neighbor domain.  Logs are per-domain,
+// so concurrent commits never share a log vector.
+std::vector<std::vector<sim::Nanos>> run_parallel_chains(
+    std::uint32_t shards, std::uint32_t domains, sim::Nanos horizon) {
+  sim::ShardedEngine eng(parallel_cfg(shards, domains));
+  std::vector<std::vector<sim::Nanos>> logs(domains);
+  std::function<void(std::uint32_t, sim::Nanos, int)> arm =
+      [&](std::uint32_t d, sim::Nanos when, int hops) {
+        eng.schedule_at(d, when, [&, d, hops] {
+          sim::Nanos now = eng.engine_for(d).now();
+          logs[d].push_back(now);
+          // Deterministic per-domain cadence, plus a cross-domain post
+          // every 8th firing.
+          const sim::Nanos step = 200 + 37 * static_cast<sim::Nanos>(d % 11);
+          if (hops > 0) arm(d, now + step, hops - 1);
+          if (hops % 8 == 3) {
+            const std::uint32_t dst = (d + 1) % domains;
+            eng.post(d, dst, now + kIpiLat, [&logs, dst, &eng] {
+              logs[dst].push_back(-eng.engine_for(dst).now());
+            });
+          }
+        });
+      };
+  for (std::uint32_t d = 0; d < domains; ++d) {
+    arm(d, 100 + 13 * static_cast<sim::Nanos>(d), /*hops=*/64);
+  }
+  eng.run_until(horizon);
+  return logs;
+}
+
+TEST(ShardedParallelCommit, DeterministicAcrossShardCounts) {
+  constexpr std::uint32_t kDomains = 33;
+  const auto baseline = run_parallel_chains(1, kDomains, sim::micros(200));
+  std::size_t total = 0;
+  for (const auto& l : baseline) total += l.size();
+  ASSERT_GT(total, 500u);
+  for (const std::uint32_t shards : {2u, 4u, 8u}) {
+    EXPECT_TRUE(run_parallel_chains(shards, kDomains, sim::micros(200)) ==
+                baseline)
+        << "shards=" << shards;
+  }
+  // Repeatability at a fixed shard count.
+  EXPECT_TRUE(run_parallel_chains(4, kDomains, sim::micros(200)) == baseline);
+}
+
+TEST(ShardedParallelCommit, LookaheadViolationThrows) {
+  sim::ShardedEngine eng(parallel_cfg(4, 9));
+  eng.schedule_at(1, 1000, [&] {
+    // A cross-domain post below the lookahead horizon must be rejected:
+    // the destination shard may already be past this time.
+    eng.post(1, 2, eng.engine_for(1).now() + 1, [] {});
+  });
+  EXPECT_THROW(eng.run_until(sim::micros(10)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hrt
