@@ -22,6 +22,10 @@
 #                          (zero added misses with telemetry on) + record
 #                          cost vs pass span; this script fails if the
 #                          overhead fraction reaches 2% (docs/OBSERVABILITY.md)
+#   BENCH_spawn.json     — ablate_spawn: batched spawn + lock-free admission
+#                          fast path; this script fails if batch throughput
+#                          is < 5x the serial-slow cell at 1024 specs, or if
+#                          the fast-path decision p99 exceeds 1 us
 #   BENCH_figures.json   — wall time + shape-check results per figure binary
 #
 # The committed PR-over-PR snapshots live in bench/snapshots/; refresh them
@@ -96,6 +100,30 @@ awk '
   }
 ' BENCH_telemetry.json
 
+echo "== ablate_spawn -> BENCH_spawn.json"
+"$BIN/ablate_spawn" $MODE_FLAG --json=BENCH_spawn.json
+# Hard gates: batched spawn must amortize to >= 5x the serial-slow cell's
+# throughput, and the O(1) fast-path admission probe must decide in <= 1 us
+# at p99 (docs/PERFORMANCE.md).
+awk '
+  match($0, /"batch_speedup_vs_serial_slow": [0-9.eE+-]+/) {
+    s = substr($0, RSTART + 32, RLENGTH - 32) + 0
+    if (s < 5.0) {
+      printf "error: batch spawn speedup %.2fx < 5x serial throughput\n", s
+      exit 1
+    }
+    printf "batch spawn speedup %.2fx over serial_slow (>= 5x)\n", s
+  }
+  match($0, /"fast_decision_p99_ns": [0-9.eE+-]+/) {
+    p = substr($0, RSTART + 23, RLENGTH - 23) + 0
+    if (p > 1000.0) {
+      printf "error: fast-path decision p99 %.0f ns > 1000 ns\n", p
+      exit 1
+    }
+    printf "fast-path decision p99 %.0f ns (<= 1000 ns)\n", p
+  }
+' BENCH_spawn.json
+
 FIGURES="fig03_tsc_sync fig04_scope_trace fig05_overheads fig06_missrate_phi \
 fig07_missrate_r415 fig08_misstime_phi fig09_misstime_r415 \
 fig10_group_admission fig11_group_sync8 fig12_group_sync_scale \
@@ -126,4 +154,4 @@ echo "== figure sweep -> BENCH_figures.json ($MODE mode)"
     "$HOST_CORES" "$HRT_GIT_SHA"
 } > BENCH_figures.json
 
-echo "wrote BENCH_engine.json BENCH_engine_scaling.json BENCH_placement.json BENCH_smi_resilience.json BENCH_telemetry.json BENCH_figures.json"
+echo "wrote BENCH_engine.json BENCH_engine_scaling.json BENCH_placement.json BENCH_smi_resilience.json BENCH_telemetry.json BENCH_spawn.json BENCH_figures.json"

@@ -40,6 +40,8 @@ class GlobalScheduler {
     std::uint64_t split_plans = 0;          // successful plan_split calls
     std::uint64_t split_chunks = 0;         // chunks across those plans
     std::uint64_t admit_give_ups = 0;       // auto-admit exhausted retries
+    std::uint64_t batch_placements = 0;     // place_batch calls
+    std::uint64_t batch_specs = 0;          // specs across those batches
   };
 
   GlobalScheduler(std::uint32_t num_cpus, double cpu_capacity, Config cfg)
@@ -76,6 +78,16 @@ class GlobalScheduler {
       ++stats_.fallback_placements;
     }
     return cpu;
+  }
+
+  /// One placement pass for a whole batch of constraints (spawn_batch):
+  /// snapshot the ledger once, pack worst-fit-decreasing against the
+  /// scratch copy.  result[i] is the CPU for specs[i]; always valid.
+  [[nodiscard]] std::vector<std::uint32_t> place_batch(
+      const std::vector<rt::Constraints>& specs) {
+    ++stats_.batch_placements;
+    stats_.batch_specs += specs.size();
+    return engine_.place_batch(specs);
   }
 
   /// Wrap `inner` with the auto-admission protocol: request `c`, and on

@@ -3,24 +3,25 @@
 namespace hrt::global {
 
 UtilizationLedger::UtilizationLedger(std::uint32_t num_cpus, double capacity)
-    : committed_(num_cpus, 0.0), capacity_(num_cpus, capacity) {}
-
-void UtilizationLedger::on_admit(std::uint32_t cpu, double util) {
-  committed_[cpu] += util;
-  ++admits_;
+    : entries_(num_cpus) {
+  for (std::uint32_t c = 0; c < num_cpus; ++c) set_capacity(c, capacity);
 }
 
-void UtilizationLedger::on_release(std::uint32_t cpu, double util) {
-  // Clamp exactly like the schedulers' own ledgers do, so the audit
-  // cross-check stays drift-free.
-  committed_[cpu] -= util;
-  if (committed_[cpu] < 0) committed_[cpu] = 0;
-  ++releases_;
+void UtilizationLedger::on_admit_raw(std::uint32_t cpu, rt::fp::Raw q) {
+  entries_[cpu].committed.add(q);
+  admits_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void UtilizationLedger::on_release_raw(std::uint32_t cpu, rt::fp::Raw q) {
+  // Clamp exactly like the schedulers' own ledgers do (AdmissionWord clamps
+  // at zero), so the audit cross-check stays drift-free.
+  entries_[cpu].committed.release(q);
+  releases_.fetch_add(1, std::memory_order_relaxed);
 }
 
 double UtilizationLedger::total_committed() const {
   double total = 0.0;
-  for (double u : committed_) total += u;
+  for (const Entry& e : entries_) total += e.committed.value();
   return total;
 }
 

@@ -8,13 +8,28 @@
 // correspondence after every scheduling pass.  The placement engine and the
 // rebalancer read headroom from here instead of polling every scheduler.
 //
+// Lock-free representation: each per-CPU entry is a Q32.32 fixed-point
+// rt::fp::AdmissionWord (cache-line padded), updated by CAS with
+// release-publication and read with acquire loads, so PlacementEngine
+// observes a coherent snapshot without locking even when admissions run on
+// other host threads (sharded engine, batch spawn).  The deltas are fed as
+// *raw* fixed-point quanta computed once at the scheduler's mutation point
+// (LocalScheduler::ledger_admit / ledger_release), so this ledger's word and
+// the scheduler's own fast-path word hold bit-identical values — the audit
+// checks them for exact raw equality, and against the scheduler's shadow
+// double ledgers within one ulp (2^-32) per operation.
+//
 // Reservations (two-phase group admission, migration holds) are deliberately
 // *not* in the ledger: they are transient and already protect admission on
 // the owning CPU; the ledger reflects only committed demand.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
+
+#include "rt/fixed_point.hpp"
 
 namespace hrt::global {
 
@@ -24,32 +39,73 @@ class UtilizationLedger {
   /// (utilization_limit minus the sporadic and aperiodic reservations).
   UtilizationLedger(std::uint32_t num_cpus, double capacity);
 
-  void on_admit(std::uint32_t cpu, double util);
-  void on_release(std::uint32_t cpu, double util);
+  /// Raw fixed-point feed: the scheduler converts its double delta once
+  /// (demand rounds up) and publishes the same quantum to its own fast-path
+  /// word and to this ledger, keeping the two bit-identical.
+  void on_admit_raw(std::uint32_t cpu, rt::fp::Raw q);
+  void on_release_raw(std::uint32_t cpu, rt::fp::Raw q);
+
+  /// Double-delta convenience used by offline tests and tools; converts
+  /// with the demand rounding (up) and forwards to the raw feed.
+  void on_admit(std::uint32_t cpu, double util) {
+    on_admit_raw(cpu, rt::fp::from_double_ceil(util));
+  }
+  void on_release(std::uint32_t cpu, double util) {
+    on_release_raw(cpu, rt::fp::from_double_ceil(util));
+  }
 
   [[nodiscard]] std::uint32_t num_cpus() const {
-    return static_cast<std::uint32_t>(committed_.size());
+    return static_cast<std::uint32_t>(entries_.size());
   }
   [[nodiscard]] double committed(std::uint32_t cpu) const {
-    return committed_[cpu];
+    return entries_[cpu].committed.value();
+  }
+  [[nodiscard]] rt::fp::Raw committed_raw(std::uint32_t cpu) const {
+    return entries_[cpu].committed.raw();
+  }
+  /// Operations applied to a CPU's word so far; scales the audit tolerance
+  /// (one ulp of double<->fixed divergence allowed per operation).
+  [[nodiscard]] std::uint64_t committed_ops(std::uint32_t cpu) const {
+    return entries_[cpu].committed.ops();
   }
   [[nodiscard]] double capacity(std::uint32_t cpu) const {
-    return capacity_[cpu];
+    return rt::fp::to_double(capacity_raw(cpu));
+  }
+  [[nodiscard]] rt::fp::Raw capacity_raw(std::uint32_t cpu) const {
+    return entries_[cpu].capacity.load(std::memory_order_acquire);
   }
   [[nodiscard]] double headroom(std::uint32_t cpu) const {
-    return capacity_[cpu] - committed_[cpu];
+    const rt::fp::Raw cap = capacity_raw(cpu);
+    const rt::fp::Raw com = committed_raw(cpu);
+    return cap > com ? rt::fp::to_double(cap - com) : 0.0;
   }
-  void set_capacity(std::uint32_t cpu, double cap) { capacity_[cpu] = cap; }
+  /// Capacity rounds DOWN (never overstate what a CPU can take); used by
+  /// boot sizing and by the resilience controller's degraded publication.
+  void set_capacity(std::uint32_t cpu, double cap) {
+    entries_[cpu].capacity.store(rt::fp::from_double_floor(cap),
+                                 std::memory_order_release);
+  }
 
   [[nodiscard]] double total_committed() const;
-  [[nodiscard]] std::uint64_t admits() const { return admits_; }
-  [[nodiscard]] std::uint64_t releases() const { return releases_; }
+  [[nodiscard]] std::uint64_t admits() const {
+    return admits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t releases() const {
+    return releases_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::vector<double> committed_;
-  std::vector<double> capacity_;
-  std::uint64_t admits_ = 0;
-  std::uint64_t releases_ = 0;
+  // One cache line per CPU: the word is CAS-hammered from the owning
+  // scheduler while the placement engine scans all of them; padding keeps a
+  // hot admit loop from invalidating its neighbors' lines.
+  struct alignas(64) Entry {
+    rt::fp::AdmissionWord committed;
+    std::atomic<rt::fp::Raw> capacity{0};
+  };
+
+  std::vector<Entry> entries_;
+  std::atomic<std::uint64_t> admits_{0};
+  std::atomic<std::uint64_t> releases_{0};
 };
 
 }  // namespace hrt::global

@@ -131,6 +131,69 @@ std::vector<std::uint32_t> PlacementEngine::rt_cpu_order(double util) const {
   return order;
 }
 
+std::vector<std::uint32_t> PlacementEngine::place_batch(
+    const std::vector<rt::Constraints>& specs) const {
+  const std::uint32_t n = ledger_.num_cpus();
+  std::vector<std::uint32_t> out(specs.size(), kInvalidCpu);
+  if (n == 0 || specs.empty()) return out;
+
+  // ONE ledger snapshot for the whole batch; every placement debits the
+  // scratch copy so later specs see earlier ones.
+  std::vector<double> head(n);
+  std::vector<double> committed(n);
+  for (std::uint32_t c = 0; c < n; ++c) {
+    head[c] = ledger_.headroom(c);
+    committed[c] = ledger_.committed(c);
+  }
+
+  // Worst-fit DECREASING: placing the big specs first is what makes the
+  // single-pass packing competitive with per-spec placement against a live
+  // ledger (classic bin-packing; also how pack_decreasing orders work).
+  std::vector<std::size_t> order(specs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return specs[a].utilization() > specs[b].utilization();
+                   });
+
+  const bool steer = cfg_.policy == Policy::kTopology &&
+                     cfg_.steer_rt_interrupt_free &&
+                     cfg_.interrupt_laden_cpus < n;
+  for (std::size_t i : order) {
+    const double util = specs[i].utilization();
+    const bool realtime = specs[i].is_realtime();
+    auto scan = [&](bool want_free, bool avoid_storm, bool need_fit) {
+      std::uint32_t best = kInvalidCpu;
+      for (std::uint32_t c = 0; c < n; ++c) {
+        if (avoid_storm && storm_hit(c)) continue;
+        if (steer && ((c >= cfg_.interrupt_laden_cpus) != want_free)) continue;
+        if (need_fit && head[c] + kEps < util) continue;
+        if (best == kInvalidCpu || committed[c] < committed[best]) best = c;
+      }
+      return best;
+    };
+    std::uint32_t cpu = kInvalidCpu;
+    // Same preference order as choose_cpu/fallback_cpu: quiet before
+    // stormy, the right partition before the wrong one, fitting before
+    // fallback-least-committed.
+    const bool free_first = !steer || realtime;
+    for (const bool need_fit : {true, false}) {
+      cpu = scan(free_first, true, need_fit);
+      if (cpu == kInvalidCpu) cpu = scan(!free_first, true, need_fit);
+      if (cpu == kInvalidCpu) cpu = scan(free_first, false, need_fit);
+      if (cpu == kInvalidCpu) cpu = scan(!free_first, false, need_fit);
+      if (cpu != kInvalidCpu) break;
+    }
+    out[i] = cpu;
+    if (cpu != kInvalidCpu) {
+      head[cpu] -= util;
+      if (head[cpu] < 0.0) head[cpu] = 0.0;
+      committed[cpu] += util;
+    }
+  }
+  return out;
+}
+
 std::vector<std::uint32_t> PlacementEngine::choose_group(
     std::uint32_t n, const rt::Constraints& c) const {
   const double util = c.utilization();

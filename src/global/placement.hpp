@@ -96,6 +96,15 @@ class PlacementEngine {
   [[nodiscard]] std::vector<std::uint32_t> choose_group(
       std::uint32_t n, const rt::Constraints& c) const;
 
+  /// One placement pass for a whole batch (System::spawn_batch): the ledger
+  /// is snapshotted into a scratch headroom vector once, then the specs are
+  /// packed worst-fit-decreasing against the scratch — each placement
+  /// debits it, so later specs see earlier ones without another ledger
+  /// read.  Specs that fit nowhere get the fallback CPU, exactly like
+  /// place(); result[i] is the CPU for specs[i].
+  [[nodiscard]] std::vector<std::uint32_t> place_batch(
+      const std::vector<rt::Constraints>& specs) const;
+
   /// All CPUs ordered by how attractive they are for an RT thread of
   /// `util`: interrupt-free first (when steering), then by descending
   /// headroom.  Used by the rebalancer's make-room search.

@@ -53,14 +53,21 @@ bool Rebalancer::rebalance_once() {
 
   // Largest movable periodic thread on `hi` that both fits in the gap
   // (moving it must not just flip the imbalance) and fits in `lo`'s
-  // headroom.
+  // headroom.  The does-it-flip test compares in the ledger's own Q32.32
+  // quantization: the candidate's demand quantum is exactly what its admit
+  // added to `hi`'s word, so the boundary case (u == true gap) resolves
+  // identically to exact real arithmetic instead of inheriting the ulp the
+  // per-admit ceil rounding adds to the committed words.
+  const rt::fp::Raw gap_raw =
+      ledger_.committed_raw(hi) - ledger_.committed_raw(lo);
   nk::Thread* victim = nullptr;
   double victim_util = 0.0;
   for (nk::Thread* t : kernel_->live_threads()) {
     if (t->cpu != hi || !movable(t)) continue;
     if (t->constraints.cls != rt::ConstraintClass::kPeriodic) continue;
     const double u = t->constraints.utilization();
-    if (u >= gap || u > ledger_.headroom(lo)) continue;
+    if (rt::fp::from_double_ceil(u) >= gap_raw || u > ledger_.headroom(lo))
+      continue;
     if (victim == nullptr || u > victim_util) {
       victim = t;
       victim_util = u;

@@ -163,6 +163,20 @@ Thread* Kernel::create_thread(std::string name,
                               std::unique_ptr<Behavior> behavior,
                               std::uint32_t cpu,
                               rt::AperiodicPriority priority, bool bound) {
+  Thread* t =
+      create_thread_parked(std::move(name), std::move(behavior), cpu,
+                           priority, bound);
+  schedulers_[cpu]->enqueue(t);
+  // Kick the target local scheduler so the new thread is noticed promptly.
+  machine_.cpu(cpu).raise(hw::kKickVector);
+  return t;
+}
+
+Thread* Kernel::create_thread_parked(std::string name,
+                                     std::unique_ptr<Behavior> behavior,
+                                     std::uint32_t cpu,
+                                     rt::AperiodicPriority priority,
+                                     bool bound) {
   if (!booted_) throw std::logic_error("Kernel: create_thread before boot");
   if (cpu >= machine_.num_cpus()) {
     throw std::out_of_range("Kernel: create_thread bad cpu");
@@ -175,10 +189,31 @@ Thread* Kernel::create_thread(std::string name,
   behaviors_.push_back(std::move(behavior));
   t->behavior = behaviors_.back().get();
   t->state = Thread::State::kReady;
-  schedulers_[cpu]->enqueue(t);
-  // Kick the target local scheduler so the new thread is noticed promptly.
-  machine_.cpu(cpu).raise(hw::kKickVector);
   return t;
+}
+
+void Kernel::commit_thread_batch(const std::vector<Thread*>& batch) {
+  std::vector<bool> kicked(machine_.num_cpus(), false);
+  for (Thread* t : batch) {
+    schedulers_[t->cpu]->enqueue(t);
+    kicked[t->cpu] = true;
+  }
+  for (std::uint32_t c = 0; c < machine_.num_cpus(); ++c) {
+    if (kicked[c]) machine_.cpu(c).raise(hw::kKickVector);
+  }
+}
+
+void Kernel::abort_thread_batch(const std::vector<Thread*>& batch) {
+  for (Thread* t : batch) reap(t);
+}
+
+void Kernel::prewarm_thread_pool(std::size_t n) {
+  while (pool_.size() < n) {
+    threads_.push_back(std::make_unique<Thread>());
+    Thread* t = threads_.back().get();
+    t->state = Thread::State::kPooled;
+    pool_.push_back(t);
+  }
 }
 
 void Kernel::reap(Thread* t) {

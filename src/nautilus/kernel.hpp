@@ -102,6 +102,29 @@ class Kernel {
                         rt::AperiodicPriority priority = rt::kDefaultPriority,
                         bool bound = true);
 
+  /// Batch-spawn building blocks (rt::System::spawn_batch).  A parked
+  /// create fully materializes the thread — TCB from the zone arena pool,
+  /// state placed, behavior attached — but does NOT enqueue it or kick the
+  /// CPU, so a failed group admission can abort with nothing observable
+  /// having happened on any scheduler.
+  Thread* create_thread_parked(
+      std::string name, std::unique_ptr<Behavior> behavior, std::uint32_t cpu,
+      rt::AperiodicPriority priority = rt::kDefaultPriority, bool bound = true);
+
+  /// Publish a parked batch: enqueue every thread, then kick each distinct
+  /// CPU exactly once — one IPI per CPU instead of one per thread is half
+  /// the batch-spawn amortization (the other half is the single group
+  /// admission pass in rt::LocalScheduler::reserve_batch).
+  void commit_thread_batch(const std::vector<Thread*>& batch);
+
+  /// Roll a parked batch back: return every thread to the pool.  Legal only
+  /// for threads from create_thread_parked that were never committed.
+  void abort_thread_batch(const std::vector<Thread*>& batch);
+
+  /// Grow the thread pool to at least `n` entries so a subsequent batch
+  /// spawn allocates no new TCBs on the hot path.
+  void prewarm_thread_pool(std::size_t n);
+
   /// Return an exited thread to the pool.
   void reap(Thread* t);
 

@@ -7,23 +7,32 @@
 
 namespace hrt::rt {
 
-namespace {
-constexpr double kEps = 1e-9;
-}
-
 double total_utilization(const std::vector<PeriodicTask>& set) {
-  double u = 0.0;
+  // Neumaier compensated summation: naive += accumulates O(n * eps) error,
+  // enough to flip an exactly-at-capacity decision for large sets; the
+  // compensated sum keeps the error at O(eps) so the boundary comparison's
+  // slack (admission_slack) can stay provably tight.
+  double sum = 0.0;
+  double comp = 0.0;
   for (const auto& t : set) {
-    u += static_cast<double>(t.slice) / static_cast<double>(t.period);
+    const double u =
+        static_cast<double>(t.slice) / static_cast<double>(t.period);
+    const double s = sum + u;
+    if (std::abs(sum) >= std::abs(u)) {
+      comp += (sum - s) + u;
+    } else {
+      comp += (u - s) + sum;
+    }
+    sum = s;
   }
-  return u;
+  return sum + comp;
 }
 
 bool edf_admissible(const std::vector<PeriodicTask>& set, double available) {
   for (const auto& t : set) {
     if (t.period <= 0 || t.slice <= 0 || t.slice > t.period) return false;
   }
-  return total_utilization(set) <= available + kEps;
+  return utilization_fits(total_utilization(set), set.size(), available);
 }
 
 bool rm_ll_admissible(const std::vector<PeriodicTask>& set, double available) {
@@ -33,7 +42,8 @@ bool rm_ll_admissible(const std::vector<PeriodicTask>& set, double available) {
   const auto n = static_cast<double>(set.size());
   if (set.empty()) return true;
   const double bound = n * (std::pow(2.0, 1.0 / n) - 1.0);
-  return total_utilization(set) <= bound * available + kEps;
+  return utilization_fits(total_utilization(set), set.size(),
+                          bound * available);
 }
 
 bool rm_rta_admissible(const std::vector<PeriodicTask>& set,

@@ -27,8 +27,30 @@ struct PeriodicTask {
   sim::Nanos phase = 0;
 };
 
-/// Sum of slice/period over the set.
+/// Sum of slice/period over the set, computed with Neumaier compensated
+/// summation so the accumulated error is O(eps), independent of set size.
 [[nodiscard]] double total_utilization(const std::vector<PeriodicTask>& set);
+
+/// Rounding slack for admission boundary comparisons: covers one double
+/// rounding per contributing term (each utilization is one division, the
+/// compensated sum adds O(eps) more), scaled by the comparison magnitude.
+/// Deliberately far below the old blanket 1e-9 epsilon, which admitted sets
+/// genuinely over capacity by up to 1e-9: a demand overshoot of even one
+/// 2^-43 utilization quantum must reject, while a set whose exact rational
+/// sum equals the capacity must still admit despite per-term representation
+/// error.  Rounds toward reject by construction.
+[[nodiscard]] inline double admission_slack(std::size_t terms, double scale) {
+  constexpr double kDoubleEps = 2.220446049250313e-16;
+  const double mag = scale > 1.0 ? scale : 1.0;
+  return 4.0 * kDoubleEps * static_cast<double>(terms + 1) * mag;
+}
+
+/// Conservative boundary comparison: total <= available, tolerating only
+/// the provable double-rounding error of `terms` contributions.
+[[nodiscard]] inline bool utilization_fits(double total, std::size_t terms,
+                                           double available) {
+  return total <= available + admission_slack(terms, available);
+}
 
 /// EDF: schedulable on `available` fraction of a CPU iff U <= available.
 [[nodiscard]] bool edf_admissible(const std::vector<PeriodicTask>& set,

@@ -27,6 +27,14 @@ using AperiodicPriority = std::uint32_t;
 inline constexpr AperiodicPriority kDefaultPriority = 100;
 inline constexpr AperiodicPriority kIdlePriority = 0xFFFFFFFFu;
 
+/// Utilization reported for a degenerate sporadic constraint (zero-width
+/// deadline window): impossible to admit.  The value sits safely inside the
+/// double and Q32.32 ranges — it converts to a saturated fixed-point word
+/// (rt/fixed_point.hpp) and exceeds every real capacity, so both admission
+/// paths reject it without overflow-dependent behavior.  Never compare
+/// against a bare 1.0e9 literal; use this constant.
+inline constexpr double kDegenerateUtilization = 1.0e9;
+
 struct Constraints {
   ConstraintClass cls = ConstraintClass::kAperiodic;
 
@@ -84,14 +92,18 @@ struct Constraints {
   [[nodiscard]] double utilization() const {
     switch (cls) {
       case ConstraintClass::kPeriodic:
+        // Degenerate (zero-period) constraints round toward reject: report
+        // the saturating sentinel, never a 0.0 that would admit for free.
+        // well_formed() screens these structurally, but every numeric path
+        // must fail closed too.
         return period > 0
                    ? static_cast<double>(slice) / static_cast<double>(period)
-                   : 0.0;
+                   : kDegenerateUtilization;
       case ConstraintClass::kSporadic: {
         const sim::Nanos window = deadline_offset - phase;
         return window > 0
                    ? static_cast<double>(size) / static_cast<double>(window)
-                   : 1.0e9;  // degenerate: impossible to admit
+                   : kDegenerateUtilization;
       }
       case ConstraintClass::kAperiodic:
         return 0.0;

@@ -14,7 +14,6 @@
 namespace hrt::rt {
 
 namespace {
-constexpr double kEps = 1e-9;
 constexpr sim::Nanos kNoTimer = -1;
 // Utilization ledgers accumulate float error across admit/exit cycles; the
 // audit recomputation tolerates this much drift.
@@ -422,12 +421,69 @@ void LocalScheduler::defer_constraint_change(
   deferred_changes_.push_back(DeferredChange{&t, t.id, c, std::move(done)});
 }
 
-bool LocalScheduler::admit_check(nk::Thread& t, const Constraints& c) const {
+bool LocalScheduler::periodic_set_admissible(
+    const std::vector<PeriodicTask>& set) const {
+  const double avail = effective_rt_availability();
+  switch (cfg_.policy) {
+    case AdmissionPolicy::kEdf:
+      return edf_admissible(set, avail);
+    case AdmissionPolicy::kRmLl:
+      return rm_ll_admissible(set, avail);
+    case AdmissionPolicy::kRmRta:
+      return rm_rta_admissible(set, avail);
+    case AdmissionPolicy::kSimulation: {
+      SimAdmissionConfig sc;
+      const auto& spec = kernel_.machine().spec();
+      sc.per_invocation_overhead = spec.freq.cycles_to_ns_ceil(
+          spec.cost.irq_dispatch + spec.cost.sched_pass_base +
+          spec.cost.context_switch + spec.cost.sched_other);
+      return simulate_edf_admission(set, sc).admissible;
+    }
+  }
+  return false;
+}
+
+bool LocalScheduler::fast_words_fit(fp::Raw need) const {
+  // Conservative by construction: demand (committed + reserved + need) was
+  // rounded up on entry, capacity rounds down here, so `fit` implies the
+  // exact real inequality and therefore the slow path's answer.
+  const fp::Raw cap = fp::from_double_floor(effective_rt_availability());
+  const fp::Raw total = fp::sat_add(
+      fp::sat_add(fast_committed_.raw(), fast_reserved_.raw()), need);
+  return total <= cap;
+}
+
+fp::Raw LocalScheduler::reserved_quantum(const nk::Thread& t,
+                                         ConstraintClass cls) const {
+  for (const auto& [rthread, rc] : reservations_) {
+    if (rthread == &t && rc.cls == cls) {
+      return fp::from_double_ceil(rc.utilization());
+    }
+  }
+  return 0;
+}
+
+std::optional<bool> LocalScheduler::fast_path_decision(
+    const Constraints& c) const {
+  if (!cfg_.admission_enabled || !cfg_.fast_admission) return std::nullopt;
+  if (cfg_.policy != AdmissionPolicy::kEdf) return std::nullopt;
+  if (c.cls != ConstraintClass::kPeriodic) return std::nullopt;
+  if (!c.well_formed() || c.period < cfg_.min_period ||
+      c.slice < cfg_.min_slice) {
+    return false;  // structural rejection; identical to the slow answer
+  }
+  return fast_words_fit(fp::from_double_ceil(c.utilization()));
+}
+
+bool LocalScheduler::probe_admission(const Constraints& c) {
+  return c.well_formed() && admit_check(nullptr, c);
+}
+
+bool LocalScheduler::admit_check(const nk::Thread* t, const Constraints& c) {
   if (!cfg_.admission_enabled) return true;
   // Degraded-capacity admission: with resilience on, the budget shrinks by
   // the estimated missing-time fraction plus the reserve, so a storm-hit CPU
   // stops accepting load it can no longer actually deliver.
-  const double avail = effective_rt_availability();
   switch (c.cls) {
     case ConstraintClass::kAperiodic:
       return true;  // aperiodic admission cannot fail (section 3.2)
@@ -435,38 +491,45 @@ bool LocalScheduler::admit_check(nk::Thread& t, const Constraints& c) const {
       if (c.period < cfg_.min_period || c.slice < cfg_.min_slice) {
         return false;
       }
-      const auto set = periodic_tasks_with(&t, &c);
-      switch (cfg_.policy) {
-        case AdmissionPolicy::kEdf:
-          return edf_admissible(set, avail);
-        case AdmissionPolicy::kRmLl:
-          return rm_ll_admissible(set, avail);
-        case AdmissionPolicy::kRmRta:
-          return rm_rta_admissible(set, avail);
-        case AdmissionPolicy::kSimulation: {
-          SimAdmissionConfig sc;
-          const auto& spec = kernel_.machine().spec();
-          sc.per_invocation_overhead = spec.freq.cycles_to_ns_ceil(
-              spec.cost.irq_dispatch + spec.cost.sched_pass_base +
-              spec.cost.context_switch + spec.cost.sched_other);
-          return simulate_edf_admission(set, sc).admissible;
+      // Lock-free fast path: one word probe instead of the O(n) set build.
+      // The committed word already counts t's own old utilization and the
+      // reserved word its reservation, both of which the slow path would
+      // exclude — extra demand only, so a fast admit is still conservative.
+      // A matching-class reservation held by t covers (part of) the new
+      // demand: committing it releases the held quantum, so only the
+      // difference is genuinely new.
+      if (cfg_.fast_admission && cfg_.policy == AdmissionPolicy::kEdf) {
+        fp::Raw need = fp::from_double_ceil(c.utilization());
+        if (t != nullptr) {
+          const fp::Raw held = reserved_quantum(*t, c.cls);
+          need = need > held ? need - held : 0;
         }
+        if (fast_words_fit(need)) {
+          ++stats_.fast_admits;
+          return true;
+        }
+        ++stats_.fast_fallbacks;
       }
-      return false;
+      return periodic_set_admissible(periodic_tasks_with(t, &c));
     }
     case ConstraintClass::kSporadic: {
       if (c.size < cfg_.min_slice) return false;
       const double density = c.utilization();
-      double current =
-          sporadic_util_ - (t.constraints.cls == ConstraintClass::kSporadic
-                                ? t.rt.density
-                                : 0.0);
+      double current = sporadic_util_;
+      if (t != nullptr && t->constraints.cls == ConstraintClass::kSporadic) {
+        current -= t->rt.density;
+      }
+      std::size_t terms = 2;  // the running sum + the new density
       for (const auto& [rthread, rc] : reservations_) {
-        if (rthread != &t && rc.cls == ConstraintClass::kSporadic) {
+        if (rthread != t && rc.cls == ConstraintClass::kSporadic) {
           current += rc.utilization();
+          ++terms;
         }
       }
-      return current + density <= cfg_.sporadic_reservation + kEps;
+      // Conservative rounding toward reject (docs/API.md): the old blanket
+      // 1e-9 epsilon admitted densities genuinely over the budget.
+      return utilization_fits(current + density, terms,
+                              cfg_.sporadic_reservation);
     }
   }
   return false;
@@ -494,7 +557,7 @@ std::vector<PeriodicTask> LocalScheduler::periodic_tasks_with(
 
 bool LocalScheduler::reserve_constraints(nk::Thread& t, const Constraints& c) {
   cancel_reservation(t);
-  const bool ok = c.well_formed() && admit_check(t, c);
+  const bool ok = c.well_formed() && admit_check(&t, c);
   if (telemetry_ != nullptr) {
     telemetry_->on_admit(cpu_, kernel_.machine().cpu(cpu_).tsc().wall_ns(),
                          static_cast<std::uint32_t>(t.id), ok,
@@ -506,12 +569,111 @@ bool LocalScheduler::reserve_constraints(nk::Thread& t, const Constraints& c) {
   }
   ++stats_.admissions_ok;
   reservations_.emplace_back(&t, c);
+  fast_reserved_.add(fp::from_double_ceil(c.utilization()));
+  return true;
+}
+
+bool LocalScheduler::reserve_batch(
+    const std::vector<std::pair<nk::Thread*, Constraints>>& items) {
+  ++stats_.batch_reserves;
+  if (items.empty()) return true;
+  // Structural validation first: one malformed spec fails the whole batch
+  // (all-or-nothing), before any capacity math runs.
+  for (const auto& [t, c] : items) {
+    if (t == nullptr || !c.well_formed()) return false;
+    if (c.cls == ConstraintClass::kPeriodic &&
+        (c.period < cfg_.min_period || c.slice < cfg_.min_slice)) {
+      return false;
+    }
+    if (c.cls == ConstraintClass::kSporadic && c.size < cfg_.min_slice) {
+      return false;
+    }
+  }
+  bool ok = true;
+  if (cfg_.admission_enabled) {
+    // ONE admission analysis for the whole group.  Periodic demand: either
+    // a single fast-path word probe over the summed quanta, or one slow
+    // analysis of (current set + every new spec) — never one pass per spec.
+    fp::Raw periodic_need = 0;
+    std::size_t periodic_count = 0;
+    for (const auto& [t, c] : items) {
+      if (c.cls != ConstraintClass::kPeriodic) continue;
+      periodic_need =
+          fp::sat_add(periodic_need, fp::from_double_ceil(c.utilization()));
+      ++periodic_count;
+    }
+    if (periodic_count > 0) {
+      bool periodic_ok = false;
+      if (cfg_.fast_admission && cfg_.policy == AdmissionPolicy::kEdf &&
+          fast_words_fit(periodic_need)) {
+        ++stats_.fast_admits;
+        periodic_ok = true;
+      } else {
+        if (cfg_.fast_admission && cfg_.policy == AdmissionPolicy::kEdf) {
+          ++stats_.fast_fallbacks;
+        }
+        auto set = periodic_tasks_with(nullptr, nullptr);
+        for (const auto& [t, c] : items) {
+          if (c.cls == ConstraintClass::kPeriodic) {
+            set.push_back(PeriodicTask{c.period, c.slice, c.phase});
+          }
+        }
+        periodic_ok = periodic_set_admissible(set);
+      }
+      ok = periodic_ok;
+    }
+    // Sporadic demand goes against its own reservation budget; one summed
+    // conservative comparison covers the subset.
+    double sporadic_total = sporadic_util_;
+    std::size_t sporadic_terms = 1;
+    std::size_t sporadic_count = 0;
+    for (const auto& [rthread, rc] : reservations_) {
+      if (rc.cls == ConstraintClass::kSporadic) {
+        sporadic_total += rc.utilization();
+        ++sporadic_terms;
+      }
+    }
+    for (const auto& [t, c] : items) {
+      if (c.cls != ConstraintClass::kSporadic) continue;
+      sporadic_total += c.utilization();
+      ++sporadic_terms;
+      ++sporadic_count;
+    }
+    if (sporadic_count > 0) {
+      ok = ok && utilization_fits(sporadic_total, sporadic_terms,
+                                  cfg_.sporadic_reservation);
+    }
+  }
+  const sim::Nanos now = kernel_.machine().cpu(cpu_).tsc().wall_ns();
+  if (!ok) {
+    for (const auto& [t, c] : items) {
+      ++stats_.admissions_rejected;
+      if (telemetry_ != nullptr) {
+        telemetry_->on_admit(cpu_, now, static_cast<std::uint32_t>(t->id),
+                             false, c.utilization());
+      }
+    }
+    return false;
+  }
+  for (const auto& [t, c] : items) {
+    ++stats_.admissions_ok;
+    if (telemetry_ != nullptr) {
+      telemetry_->on_admit(cpu_, now, static_cast<std::uint32_t>(t->id), true,
+                           c.utilization());
+    }
+    if (c.cls == ConstraintClass::kAperiodic) continue;  // nothing to hold
+    cancel_reservation(*t);
+    reservations_.emplace_back(t, c);
+    fast_reserved_.add(fp::from_double_ceil(c.utilization()));
+    ++stats_.batch_reserved_threads;
+  }
   return true;
 }
 
 void LocalScheduler::cancel_reservation(nk::Thread& t) {
   for (auto it = reservations_.begin(); it != reservations_.end(); ++it) {
     if (it->first == &t) {
+      fast_reserved_.release(fp::from_double_ceil(it->second.utilization()));
       reservations_.erase(it);
       return;
     }
@@ -543,6 +705,9 @@ void LocalScheduler::detach_bookkeeping(nk::Thread* t) {
     ledger_release(t->rt.density);
     sporadic_util_ -= t->rt.density;
     if (sporadic_util_ < 0) sporadic_util_ = 0;
+    // Zero the released density: a second detach (exit after a failed
+    // change) must not double-release it.
+    t->rt.density = 0.0;
   }
   // A detach (exit, or a fresh change_constraints) abandons any in-flight
   // migration; release the utilization held on the target.
@@ -557,10 +722,14 @@ void LocalScheduler::detach_bookkeeping(nk::Thread* t) {
 
 bool LocalScheduler::change_constraints(nk::Thread& t, const Constraints& c,
                                         sim::Nanos gamma) {
-  // A reservation made during group admission is consumed (released) here;
-  // the admission test below then re-admits the same demand.
-  cancel_reservation(t);
-  if (!c.well_formed() || !admit_check(t, c)) {
+  // A two-phase reservation (group admission, migration hold, batch spawn)
+  // is consumed only on a SUCCESSFUL commit: the admission test excludes
+  // t's own reservation, so it needs no cancel-first, and a rejected commit
+  // must leave the held utilization in place for the caller's retry or
+  // rollback.  (The pre-fix code cancelled up front, silently losing the
+  // hold on rejection — kept behind a test fault for the regression test.)
+  if (!c.well_formed() || !admit_check(&t, c)) {
+    if (cfg_.test_faults.consume_reservation_on_reject) cancel_reservation(t);
     ++stats_.admissions_rejected;
     if (telemetry_ != nullptr) {
       telemetry_->on_admit(cpu_, gamma, static_cast<std::uint32_t>(t.id),
@@ -568,6 +737,7 @@ bool LocalScheduler::change_constraints(nk::Thread& t, const Constraints& c,
     }
     return false;
   }
+  cancel_reservation(t);
   ++stats_.admissions_ok;
   if (telemetry_ != nullptr) {
     telemetry_->on_admit(cpu_, gamma, static_cast<std::uint32_t>(t.id), true,
@@ -715,12 +885,21 @@ bool LocalScheduler::detach_for_migration(nk::Thread& t) {
 // --- job-boundary RT migration (docs/GLOBAL.md) ---------------------------
 
 void LocalScheduler::ledger_admit(double util) {
-  if (ledger_ != nullptr) ledger_->on_admit(cpu_, util);
+  // One rounding, two destinations: the same raw quantum feeds this
+  // scheduler's fast-path word and the global placement ledger, so the two
+  // words stay bit-identical (the kPlacementLedger audit checks exact raw
+  // equality) and each differs from the shadow doubles by at most one ulp
+  // per operation.
+  const fp::Raw q = fp::from_double_ceil(util);
+  fast_committed_.add(q);
+  if (ledger_ != nullptr) ledger_->on_admit_raw(cpu_, q);
 }
 
 void LocalScheduler::ledger_release(double util) {
+  const fp::Raw q = fp::from_double_ceil(util);
+  fast_committed_.release(q);
   if (ledger_ == nullptr || cfg_.test_faults.drop_ledger_release) return;
-  ledger_->on_release(cpu_, util);
+  ledger_->on_release_raw(cpu_, q);
 }
 
 bool LocalScheduler::request_migration(nk::Thread& t, std::uint32_t to) {
@@ -782,10 +961,21 @@ void LocalScheduler::complete_migration(nk::Thread& t, sim::Nanos now) {
     }
     kernel_.machine().send_ipi(cpu_, to, hw::kKickVector);
   } else {
-    // The reservation held the target utilization, so this should never
-    // happen; put the thread back here (its utilization was just released,
-    // so local re-admission passes), or demote it rather than lose it.
+    // The reservation held the target utilization, so this only happens
+    // when the target's capacity shrank underneath the hold (degraded
+    // admission during an SMI storm); put the thread back here (its
+    // utilization was just released, so local re-admission passes), or
+    // demote it rather than lose it.  The failed commit did NOT consume the
+    // reservation, and it lives on the *target* CPU — release it there.
+    // Releasing on the original candidate instead (the seeded
+    // migration_rollback_wrong_cpu fault) leaks the target's held
+    // utilization forever.
     ++stats_.migration_failures;
+    if (cfg_.test_faults.migration_rollback_wrong_cpu) {
+      cancel_reservation(t);
+    } else {
+      target->cancel_reservation(t);
+    }
     t.cpu = cpu_;
     ok = change_constraints(t, c, now);
     if (auditor_ != nullptr && auditor_->enabled() &&
@@ -940,6 +1130,59 @@ void LocalScheduler::audit_utilization(sim::Nanos now) {
           audit::Invariant::kPlacementLedger, cpu_, now,
           "placement ledger " + std::to_string(ledger_->committed(cpu_)) +
               " != scheduler ledgers " + std::to_string(mine));
+    }
+    // Lock-free word cross-checks (docs/AUDIT.md): the global ledger's
+    // Q32.32 word is fed the same raw quanta as the local fast-path word,
+    // so the two must be bit-identical; and the word may diverge from the
+    // shadow doubles by at most one ulp per operation (demand rounds up
+    // once per admit/release, integer accumulation is exact).
+    if (ledger_->committed_raw(cpu_) != fast_committed_.raw()) {
+      auditor_->record(
+          audit::Invariant::kPlacementLedger, cpu_, now,
+          "placement ledger word " +
+              std::to_string(ledger_->committed_raw(cpu_)) +
+              " != scheduler fast-path word " +
+              std::to_string(fast_committed_.raw()));
+    }
+    const double word_drift = std::abs(fast_committed_.value() - mine);
+    if (word_drift > fast_committed_.ulp_budget() + kLedgerEps) {
+      auditor_->record(
+          audit::Invariant::kPlacementLedger, cpu_, now,
+          "fast-path word " + std::to_string(fast_committed_.value()) +
+              " drifted " + std::to_string(word_drift) +
+              " from double ledgers " + std::to_string(mine) + " (budget " +
+              std::to_string(fast_committed_.ulp_budget() + kLedgerEps) +
+              " after " + std::to_string(fast_committed_.ops()) + " ops)");
+    }
+  }
+  // Reserved-word invariant: the reservation list and its Q32.32 mirror
+  // must agree exactly (same ceil rounding on entry and exit).
+  fp::Raw reserved_sum = 0;
+  for (const auto& [rthread, rc] : reservations_) {
+    reserved_sum =
+        fp::sat_add(reserved_sum, fp::from_double_ceil(rc.utilization()));
+  }
+  if (reserved_sum != fast_reserved_.raw()) {
+    auditor_->record(audit::Invariant::kUtilization, cpu_, now,
+                     "reserved fast-path word " +
+                         std::to_string(fast_reserved_.raw()) +
+                         " != recomputed reservation sum " +
+                         std::to_string(reserved_sum));
+  }
+  // Stale-reservation invariant: every hold must belong to a thread homed
+  // here or migrating here.  A reservation whose owner neither lives on
+  // this CPU nor targets it is a rollback leak (the migration hand-off
+  // failure path released the wrong CPU's hold) and would depress this
+  // CPU's admission capacity forever.
+  if (auditor_->config().check_migration) {
+    for (const auto& [rthread, rc] : reservations_) {
+      if (rthread->cpu != cpu_ && rthread->migrate_to != cpu_) {
+        auditor_->record(
+            audit::Invariant::kMigration, cpu_, now,
+            "reservation held for thread " + std::to_string(rthread->id) +
+                " which is homed on cpu " + std::to_string(rthread->cpu) +
+                " and not migrating here (leaked rollback hold)");
+      }
     }
   }
 }

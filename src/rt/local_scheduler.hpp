@@ -22,6 +22,8 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "nautilus/kernel.hpp"
@@ -30,6 +32,7 @@
 #include "resilience/estimator.hpp"
 #include "rt/admission.hpp"
 #include "rt/constraints.hpp"
+#include "rt/fixed_point.hpp"
 #include "rt/queues.hpp"
 
 namespace hrt::audit {
@@ -66,6 +69,13 @@ class LocalScheduler final : public nk::SchedulerBase {
     AdmissionPolicy policy = AdmissionPolicy::kEdf;
     bool admission_enabled = true;  // figures 6-9 turn this off
     bool eager = true;              // ablation: lazy EDF when false
+    /// O(1) lock-free admission fast path (docs/API.md): probe the Q32.32
+    /// committed/reserved words before running the O(n) analysis.  The
+    /// probe's conservative rounding (rt/fixed_point.hpp) guarantees a fast
+    /// admit implies the slow-path admit, so decisions are identical with
+    /// the flag on or off; off is the serial-slow ablation baseline
+    /// (bench/ablate_spawn).  kEdf only; other policies always fall back.
+    bool fast_admission = true;
     std::size_t max_threads = 1024;
     std::size_t max_tasks = 4096;
     // Bounds on requestable constraints (section 3.3: "Bounds are also
@@ -92,6 +102,14 @@ class LocalScheduler final : public nk::SchedulerBase {
       bool rearm_past_quantum = false;    // arm quantum target in the past
       bool drop_ledger_release = false;   // placement ledger misses releases
       bool stale_migrate_cpu = false;     // migrate without updating t->cpu
+      // Failed admission consumes the caller's two-phase reservation (the
+      // pre-fix change_constraints behavior: held utilization silently lost
+      // on a rejected commit).
+      bool consume_reservation_on_reject = false;
+      // A failed migration hand-off releases the reservation on the
+      // *original* CPU instead of the target, leaking the target's held
+      // utilization (the spawn_auto admit-retry rollback bug).
+      bool migration_rollback_wrong_cpu = false;
     };
     TestFaults test_faults;
   };
@@ -102,6 +120,10 @@ class LocalScheduler final : public nk::SchedulerBase {
     std::uint64_t kick_passes = 0;
     std::uint64_t admissions_ok = 0;
     std::uint64_t admissions_rejected = 0;
+    std::uint64_t fast_admits = 0;      // fast path decided without analysis
+    std::uint64_t fast_fallbacks = 0;   // fast path punted to the slow path
+    std::uint64_t batch_reserves = 0;   // reserve_batch calls
+    std::uint64_t batch_reserved_threads = 0;  // threads those calls admitted
     std::uint64_t tasks_inline = 0;
     std::uint64_t rr_rotations = 0;
     std::uint64_t zero_delay_arms = 0;  // one-shot armed with zero delay
@@ -177,6 +199,36 @@ class LocalScheduler final : public nk::SchedulerBase {
   void cancel_reservation(nk::Thread& t);
   [[nodiscard]] bool has_reservation(const nk::Thread& t) const;
 
+  // --- batched admission (System::spawn_batch, docs/API.md) ---
+  // Admit a group of freshly created threads with ONE admission analysis
+  // (or one fast-path word probe) for the whole group, all-or-nothing: on
+  // success every thread holds a two-phase reservation to be consumed by
+  // its first change_constraints; on failure nothing is reserved.
+  // Aperiodic entries are accepted without a reservation (aperiodic
+  // admission cannot fail).
+  [[nodiscard]] bool reserve_batch(
+      const std::vector<std::pair<nk::Thread*, Constraints>>& items);
+
+  // --- lock-free admission fast path (docs/API.md) ---
+  // O(1) wait-free probe of the Q32.32 words.  Returns nullopt when the
+  // fast path does not apply (disabled, non-kEdf policy, non-periodic
+  // class); otherwise the conservative decision: true implies the slow
+  // path would also admit, false may be spurious (slow path remains the
+  // authority inside admit_check).
+  [[nodiscard]] std::optional<bool> fast_path_decision(
+      const Constraints& c) const;
+  /// Full admission answer for a hypothetical brand-new thread (no
+  /// exclusions), fast path included; bench/fuzz probe, no state change
+  /// beyond stats.
+  [[nodiscard]] bool probe_admission(const Constraints& c);
+  /// The committed/reserved fast-path words (diagnostics and audits).
+  [[nodiscard]] const fp::AdmissionWord& fast_committed_word() const {
+    return fast_committed_;
+  }
+  [[nodiscard]] const fp::AdmissionWord& fast_reserved_word() const {
+    return fast_reserved_;
+  }
+
   // --- job-boundary RT migration (global placement, docs/GLOBAL.md) ---
   // Move an admitted periodic thread to another CPU without ever splitting a
   // job: the target's utilization is held with a reservation immediately,
@@ -229,7 +281,14 @@ class LocalScheduler final : public nk::SchedulerBase {
   void ledger_release(double util);
   nk::Thread* select_next(sim::Nanos now, nk::PassReason reason);
   void detach_bookkeeping(nk::Thread* t);
-  [[nodiscard]] bool admit_check(nk::Thread& t, const Constraints& c) const;
+  [[nodiscard]] bool admit_check(const nk::Thread* t, const Constraints& c);
+  [[nodiscard]] bool periodic_set_admissible(
+      const std::vector<PeriodicTask>& set) const;
+  [[nodiscard]] bool fast_words_fit(fp::Raw need) const;
+  /// Fixed-point quantum already held by `t`'s reservation of class `cls`
+  /// (0 if none): a commit consuming it adds only the difference.
+  [[nodiscard]] fp::Raw reserved_quantum(const nk::Thread& t,
+                                         ConstraintClass cls) const;
   [[nodiscard]] std::vector<PeriodicTask> periodic_tasks_with(
       const nk::Thread* exclude, const Constraints* extra) const;
   void audit_queues(sim::Nanos now);
@@ -276,6 +335,15 @@ class LocalScheduler final : public nk::SchedulerBase {
 
   double admitted_periodic_util_ = 0.0;
   double sporadic_util_ = 0.0;
+  // Lock-free admission fast path: Q32.32 mirrors of the double ledgers
+  // above (committed = periodic + sporadic, fed with the same deltas at
+  // ledger_admit/ledger_release) and of the reservation list.  Demand
+  // rounds up on entry, so the words upper-bound the true sums and a word
+  // probe can admit without the O(n) analysis (docs/API.md); the
+  // kPlacementLedger audit bounds their divergence from the doubles by one
+  // ulp per operation.
+  fp::AdmissionWord fast_committed_;
+  fp::AdmissionWord fast_reserved_;
   std::uint64_t rr_seq_counter_ = 0;
   sim::Nanos quantum_start_ = 0;
   sim::Nanos lazy_wake_ = -1;  // lazy mode: scheduled latest-start wakeup

@@ -1,10 +1,48 @@
 #include "rt/system.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "group/group_admission.hpp"
 
 namespace hrt {
+
+namespace {
+
+/// Batch-spawn commit wrapper: the thread's utilization is already held by
+/// a reservation (LocalScheduler::reserve_batch), so the step-0 commit is
+/// an O(1) fast-path probe that cannot fail under normal operation — only
+/// a capacity degradation between reserve and first run (SMI storm) can
+/// reject it, and then the thread exits rather than run unadmitted.
+class ReservedAdmitBehavior final : public nk::Behavior {
+ public:
+  ReservedAdmitBehavior(rt::Constraints c, std::unique_ptr<nk::Behavior> inner)
+      : constraints_(c), inner_(std::move(inner)) {}
+
+  nk::Action next(nk::ThreadCtx& ctx) override {
+    if (!committed_) {
+      committed_ = true;
+      return nk::Action::change_constraints(constraints_);
+    }
+    if (!checked_) {
+      checked_ = true;
+      if (!ctx.last_admit_ok) return nk::Action::exit();
+    }
+    return inner_->next(ctx);
+  }
+
+  [[nodiscard]] std::string describe() const override {
+    return "reserved-admit(" + inner_->describe() + ")";
+  }
+
+ private:
+  rt::Constraints constraints_;
+  std::unique_ptr<nk::Behavior> inner_;
+  bool committed_ = false;
+  bool checked_ = false;
+};
+
+}  // namespace
 
 System::System() : System(Options{}) {}
 
@@ -88,6 +126,76 @@ nk::Thread* System::spawn_auto(std::string name,
   return kernel_->create_thread(
       std::move(name), global_->auto_admit(constraints, std::move(behavior)),
       cpu, priority);
+}
+
+System::BatchSpawnResult System::spawn_batch(std::vector<SpawnSpec> specs) {
+  BatchSpawnResult result;
+  if (specs.empty()) {
+    result.ok = true;
+    return result;
+  }
+
+  // Phase 1: ONE placement pass over the whole batch.
+  std::vector<rt::Constraints> cs;
+  cs.reserve(specs.size());
+  for (const SpawnSpec& s : specs) cs.push_back(s.constraints);
+  std::vector<std::uint32_t> cpus = global_->place_batch(cs);
+
+  // Phase 2: materialize every thread PARKED — pool-backed TCBs, no
+  // scheduler has seen any of them yet, so a rejection can still unwind to
+  // exactly the pre-call state.
+  kernel_->prewarm_thread_pool(specs.size());
+  std::vector<nk::Thread*> threads;
+  threads.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    SpawnSpec& s = specs[i];
+    std::unique_ptr<nk::Behavior> b =
+        s.constraints.is_realtime()
+            ? std::make_unique<ReservedAdmitBehavior>(s.constraints,
+                                                      std::move(s.behavior))
+            : std::move(s.behavior);
+    threads.push_back(kernel_->create_thread_parked(
+        std::move(s.name), std::move(b), cpus[i], s.priority));
+  }
+
+  // Phase 3: ONE admission analysis per distinct target CPU.  Group the
+  // batch by CPU and reserve each subset atomically; the first rejecting
+  // CPU fails the whole batch.
+  std::vector<std::uint32_t> touched;
+  bool admitted = true;
+  for (std::uint32_t cpu = 0; cpu < kernel_->num_cpus() && admitted; ++cpu) {
+    std::vector<std::pair<nk::Thread*, rt::Constraints>> items;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (cpus[i] == cpu && cs[i].is_realtime()) {
+        items.emplace_back(threads[i], cs[i]);
+      }
+    }
+    if (items.empty()) continue;
+    if (sched(cpu).reserve_batch(items)) {
+      touched.push_back(cpu);
+    } else {
+      admitted = false;
+    }
+  }
+
+  if (!admitted) {
+    // All-or-nothing rollback: drop the reservations taken so far, return
+    // every TCB to the pool.  No queue was touched, no CPU kicked.
+    for (std::uint32_t cpu : touched) {
+      for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (cpus[i] == cpu) sched(cpu).cancel_reservation(*threads[i]);
+      }
+    }
+    kernel_->abort_thread_batch(threads);
+    return result;
+  }
+
+  // Phase 4: publish — enqueue everything, one kick per distinct CPU.
+  kernel_->commit_thread_batch(threads);
+  result.ok = true;
+  result.threads = std::move(threads);
+  result.cpus = std::move(cpus);
+  return result;
 }
 
 std::vector<nk::Thread*> System::spawn_split(

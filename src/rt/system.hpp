@@ -112,6 +112,32 @@ class System {
                          const rt::Constraints& constraints,
                          rt::AperiodicPriority priority = rt::kDefaultPriority);
 
+  /// One thread of a batch spawn (spawn_batch).
+  struct SpawnSpec {
+    std::string name;
+    std::unique_ptr<nk::Behavior> behavior;
+    rt::Constraints constraints;  // aperiodic specs skip admission entirely
+    rt::AperiodicPriority priority = rt::kDefaultPriority;
+  };
+
+  struct BatchSpawnResult {
+    bool ok = false;
+    /// Empty when !ok (all-or-nothing: a rejected batch creates nothing).
+    std::vector<nk::Thread*> threads;  // threads[i] came from specs[i]
+    std::vector<std::uint32_t> cpus;   // cpus[i] = threads[i]'s CPU
+  };
+
+  /// Batched spawn with group admission semantics: ONE placement pass over
+  /// the whole vector (global::PlacementEngine::place_batch), pool-backed
+  /// parked thread creation, and ONE admission analysis per target CPU
+  /// (rt::LocalScheduler::reserve_batch) instead of one per spec.
+  /// All-or-nothing: if any CPU rejects its subset, every reservation is
+  /// rolled back and every thread returned to the pool — the system is left
+  /// exactly as it was, and no thread was ever visible to a scheduler.  On
+  /// success each RT thread commits its reserved constraints at first run
+  /// (the reservation makes that commit an O(1) fast-path probe).
+  BatchSpawnResult spawn_batch(std::vector<SpawnSpec> specs);
+
   /// Semi-partitioned overflow spawn: split a periodic constraint that fits
   /// no single CPU into pipeline chunks (global::split_task) and spawn one
   /// auto-admitted thread per chunk, named `name.0`, `name.1`, ...

@@ -3,6 +3,7 @@
 // including cross-validation properties between them.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "rt/admission.hpp"
@@ -243,6 +244,69 @@ TEST(Edf, BoundaryUtilizationAgainstPartialAvailability) {
   EXPECT_TRUE(edf_admissible(set_of({{micros(100), micros(79)}}), 0.79));
   EXPECT_FALSE(
       edf_admissible(set_of({{micros(10000), micros(7901)}}), 0.79));
+}
+
+// ---------- exact-boundary rounding (the PR-7 kEps bugfix) ----------
+//
+// The old blanket `total <= available + 1e-9` guard admitted sets a full
+// 10^-9 over capacity.  The replacement scales with the set: slack is
+// O(eps * terms), so representation noise is forgiven but real overload —
+// even 2^-43, five orders of magnitude below the old guard — is rejected.
+
+TEST(Edf, ExactlyFullUtilizationIsAdmissible) {
+  // Dyadic slice/period pairs sum to exactly 1.0 with no rounding at all.
+  auto s = set_of({{micros(128), micros(64)}, {micros(256), micros(128)}});
+  EXPECT_DOUBLE_EQ(total_utilization(s), 1.0);
+  EXPECT_TRUE(edf_admissible(s, 1.0));
+}
+
+TEST(Edf, OneQuantumOverFullUtilizationIsRejected) {
+  // U = 1.0 + 2^-43: one 1ns slice against a 2^43 ns period on top of an
+  // exactly-full set.  The old 1e-9 guard admitted this overload.
+  const sim::Nanos huge = sim::Nanos{1} << 43;
+  auto s = set_of({{micros(128), micros(128)}, {huge, 1}});
+  EXPECT_GT(total_utilization(s), 1.0);
+  EXPECT_FALSE(edf_admissible(s, 1.0));
+}
+
+TEST(Edf, OneQuantumUnderFullUtilizationIsAdmissible) {
+  // U = 1.0 - 2^-43: conservative rounding must not spuriously reject a
+  // set that is strictly under capacity.
+  const sim::Nanos huge = sim::Nanos{1} << 43;
+  auto s = set_of({{huge, huge - 1}});
+  EXPECT_LT(total_utilization(s), 1.0);
+  EXPECT_TRUE(edf_admissible(s, 1.0));
+}
+
+TEST(Edf, DecimalRepresentationNoiseIsForgiven) {
+  // 0.4 + 0.39 sums to 0.79 only up to double representation error; the
+  // scaled slack absorbs it instead of rejecting at the exact boundary.
+  auto s = set_of({{micros(1000), micros(400)}, {micros(1000), micros(390)}});
+  EXPECT_TRUE(edf_admissible(s, 0.79));
+}
+
+TEST(Utilization, SlackScalesWithTermsAndForgivesUlps) {
+  EXPECT_LT(admission_slack(1, 1.0), 1e-14);  // far below the old 1e-9
+  EXPECT_LT(admission_slack(1000, 1.0), 1e-11);
+  EXPECT_GT(admission_slack(2, 1.0), admission_slack(1, 1.0));
+  // One double ulp of noise at the boundary fits; a real 1e-13 excess is
+  // rejected.
+  EXPECT_TRUE(utilization_fits(std::nextafter(1.0, 2.0), 1, 1.0));
+  EXPECT_FALSE(utilization_fits(1.0 + 1e-13, 1, 1.0));
+  // Neumaier summation keeps a long tail of tiny terms exact enough that
+  // the verdict at the boundary is still right.
+  std::vector<PeriodicTask> many;
+  for (int i = 0; i < 1000; ++i) many.push_back({micros(1000), sim::micros(1), 0});
+  EXPECT_TRUE(utilization_fits(total_utilization(many), many.size(), 1.0));
+}
+
+TEST(Utilization, DegenerateConstraintsSaturateAndNeverFit) {
+  // Zero-period constraints report the kDegenerateUtilization sentinel, not
+  // inf/NaN, and no capacity admits them.
+  Constraints zero = Constraints::periodic(0, 0, micros(10));
+  EXPECT_DOUBLE_EQ(zero.utilization(), kDegenerateUtilization);
+  EXPECT_FALSE(utilization_fits(zero.utilization(), 1, 1.0));
+  EXPECT_FALSE(zero.well_formed());
 }
 
 }  // namespace
