@@ -1,0 +1,80 @@
+// hrt-metrics-diff: compare two hrt-metrics-v1 snapshots
+// (telemetry/export.hpp write_metrics_json) and print per-key deltas —
+// cross-PR perf triage over metrics dumps (docs/OBSERVABILITY.md).
+//
+//   hrt_metrics_diff [--all] [--limit=N] BEFORE.json AFTER.json
+//
+// Exit status: 0 = diff printed (possibly empty), 2 = usage error,
+// 3 = a snapshot failed to load or parse.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/metrics_diff.hpp"
+
+namespace {
+
+bool read_file(const char* path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream os;
+  os << in.rdbuf();
+  *out = os.str();
+  return true;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: hrt_metrics_diff [--all] [--limit=N] BEFORE AFTER\n"
+               "  --all       include keys whose values did not change\n"
+               "  --limit=N   show at most N rows (default 40; 0 = all)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool all = false;
+  std::size_t limit = 40;
+  const char* paths[2] = {nullptr, nullptr};
+  int npaths = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--all") == 0) {
+      all = true;
+    } else if (std::strncmp(argv[i], "--limit=", 8) == 0) {
+      limit = std::strtoull(argv[i] + 8, nullptr, 10);
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else if (npaths < 2) {
+      paths[npaths++] = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (npaths != 2) return usage();
+
+  hrt::telemetry::MetricsSnapshot snaps[2];
+  for (int i = 0; i < 2; ++i) {
+    std::string text;
+    if (!read_file(paths[i], &text)) {
+      std::fprintf(stderr, "hrt_metrics_diff: cannot read %s\n", paths[i]);
+      return 3;
+    }
+    snaps[i] = hrt::telemetry::parse_metrics_snapshot(text);
+    if (!snaps[i].ok) {
+      std::fprintf(stderr, "hrt_metrics_diff: %s: %s\n", paths[i],
+                   snaps[i].error.c_str());
+      return 3;
+    }
+  }
+
+  const auto rows =
+      hrt::telemetry::diff_metrics(snaps[0], snaps[1], /*only_changed=*/!all);
+  std::printf("%s -> %s (%zu keys before, %zu after, %zu rows)\n", paths[0],
+              paths[1], snaps[0].values.size(), snaps[1].values.size(),
+              rows.size());
+  std::fputs(hrt::telemetry::format_metrics_diff(rows, limit).c_str(), stdout);
+  return 0;
+}

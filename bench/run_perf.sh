@@ -26,6 +26,10 @@
 #                          fast path; this script fails if batch throughput
 #                          is < 5x the serial-slow cell at 1024 specs, or if
 #                          the fast-path decision p99 exceeds 1 us
+#   BENCH_cluster.json   — ablate_cluster: node-crash failover vs no-failover
+#                          baseline; this script fails on any post-failover
+#                          deadline miss or if failover availability is not
+#                          strictly above the baseline
 #   BENCH_figures.json   — wall time + shape-check results per figure binary
 #
 # The committed PR-over-PR snapshots live in bench/snapshots/; refresh them
@@ -124,6 +128,32 @@ awk '
   }
 ' BENCH_spawn.json
 
+echo "== ablate_cluster -> BENCH_cluster.json"
+"$BIN/ablate_cluster" $MODE_FLAG --json=BENCH_cluster.json
+# Hard gates: failover must deliver zero post-failover deadline misses on the
+# re-admitted RT work, and strictly more availability than the no-failover
+# baseline (docs/CLUSTER.md).
+awk '
+  match($0, /"post_failover_misses": [0-9]+/) {
+    m = substr($0, RSTART + 24, RLENGTH - 24) + 0
+    if (m != 0) {
+      printf "error: %d post-failover deadline misses (must be 0)\n", m
+      exit 1
+    }
+  }
+  match($0, /"availability_failover": [0-9.eE+-]+/) {
+    af = substr($0, RSTART + 25, RLENGTH - 25) + 0
+  }
+  match($0, /"availability_baseline": [0-9.eE+-]+/) {
+    ab = substr($0, RSTART + 25, RLENGTH - 25) + 0
+    if (af <= ab) {
+      printf "error: failover availability %.4f <= baseline %.4f\n", af, ab
+      exit 1
+    }
+    printf "cluster failover availability %.4f > baseline %.4f, zero post-failover misses\n", af, ab
+  }
+' BENCH_cluster.json
+
 FIGURES="fig03_tsc_sync fig04_scope_trace fig05_overheads fig06_missrate_phi \
 fig07_missrate_r415 fig08_misstime_phi fig09_misstime_r415 \
 fig10_group_admission fig11_group_sync8 fig12_group_sync_scale \
@@ -154,4 +184,4 @@ echo "== figure sweep -> BENCH_figures.json ($MODE mode)"
     "$HOST_CORES" "$HRT_GIT_SHA"
 } > BENCH_figures.json
 
-echo "wrote BENCH_engine.json BENCH_engine_scaling.json BENCH_placement.json BENCH_smi_resilience.json BENCH_telemetry.json BENCH_spawn.json BENCH_figures.json"
+echo "wrote BENCH_engine.json BENCH_engine_scaling.json BENCH_placement.json BENCH_smi_resilience.json BENCH_telemetry.json BENCH_spawn.json BENCH_cluster.json BENCH_figures.json"

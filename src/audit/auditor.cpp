@@ -28,6 +28,8 @@ const char* invariant_name(Invariant inv) {
       return "effective-capacity";
     case Invariant::kSloBudget:
       return "slo-budget";
+    case Invariant::kClusterLedger:
+      return "cluster-ledger";
   }
   return "?";
 }

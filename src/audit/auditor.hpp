@@ -40,6 +40,10 @@
 //   * slo-budget: a declared telemetry SLO (telemetry/slo.hpp) burned its
 //     deadline-miss budget — the windowed miss fraction reached the budget
 //     while the monitor had enough samples to trust the estimate.
+//   * cluster-ledger: the cluster controller's cached per-node rollup
+//     (cluster/ledger.hpp) diverged from the sums recomputed live from the
+//     node's own lock-free UtilizationLedger words, or a down node still
+//     published non-zero capacity.
 //
 // Compile with -DHRT_FORCE_AUDIT=1 (CMake option HRT_FORCE_AUDIT) to force
 // every Auditor into enabled+throwing mode regardless of runtime config;
@@ -69,6 +73,7 @@ enum class Invariant : std::uint8_t {
   kShedState,
   kEffectiveCapacity,
   kSloBudget,
+  kClusterLedger,
 };
 
 [[nodiscard]] const char* invariant_name(Invariant inv);
@@ -107,6 +112,7 @@ struct Config {
   bool check_shed_state = true;
   bool check_effective_capacity = true;
   bool check_slo = true;
+  bool check_cluster_ledger = true;
   /// Violations recorded verbatim; beyond this only the counter grows.
   std::size_t max_recorded = 64;
   /// Extra tolerance for the budget-conservation check, on top of the
@@ -147,7 +153,7 @@ class Auditor {
   std::vector<Violation> violations_;
   std::uint64_t total_violations_ = 0;
   std::uint64_t checks_run_ = 0;
-  std::uint64_t per_invariant_[12] = {};
+  std::uint64_t per_invariant_[13] = {};
 };
 
 }  // namespace hrt::audit

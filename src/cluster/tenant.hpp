@@ -1,0 +1,78 @@
+// Tenant and job model for the cluster tier (docs/CLUSTER.md).
+//
+// A tenant owns jobs and carries two knobs the controller's placement loop
+// reads: a fairshare `weight` (its slice of cluster capacity under
+// contention) and a `criticality` rank (lower = more important — the same
+// flipped-niceness convention as rt::AperiodicPriority).  Criticality is
+// what failover consumes: when surviving capacity cannot hold everything,
+// the controller sheds jobs from the least critical tenants first.
+//
+// A job is the unit of placement, re-placement, preemption, and shedding —
+// jobs move between nodes whole, never thread-by-thread, because the node
+// tier's admission guarantees (group admission, semi-partitioned splits)
+// are per-job constructs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rt/constraints.hpp"
+#include "sim/time.hpp"
+
+namespace hrt::cluster {
+
+using JobId = std::uint64_t;
+
+inline constexpr std::uint32_t kInvalidNode = 0xFFFFFFFFu;
+
+struct TenantSpec {
+  std::string name;
+  /// Fairshare weight: under contention the tenant is entitled to
+  /// weight / sum(weights) of the cluster's effective RT capacity; pending
+  /// jobs of tenants over their share queue behind those under it.
+  double weight = 1.0;
+  /// Shed/placement rank; lower = more important.  Failover sheds jobs in
+  /// decreasing criticality value (least important first), and a pending
+  /// job may only displace jobs of strictly larger criticality.
+  std::uint32_t criticality = 100;
+};
+
+/// How a job maps onto the node tier's spawn surface.
+enum class JobKind : std::uint8_t {
+  kGang,        // spawn_group_auto: n threads admitted together
+  kPipeline,    // spawn_split: semi-partitioned chunk pipeline
+  kBatch,       // spawn_batch: n independent RT threads, all-or-nothing
+  kBestEffort,  // spawn_batch aperiodic: no reservation, preemptible
+};
+
+[[nodiscard]] const char* job_kind_name(JobKind k);
+
+struct JobSpec {
+  std::string tenant;
+  std::string name;
+  JobKind kind = JobKind::kGang;
+  /// Per-thread constraints for kGang/kBatch; the whole logical task for
+  /// kPipeline (the node's split planner carves it into chunks).  Ignored
+  /// by kBestEffort except for priority.
+  rt::Constraints constraints = rt::Constraints::aperiodic();
+  /// Gang width / batch size / best-effort worker count (kPipeline derives
+  /// its chunk count from the split plan instead).
+  std::uint32_t threads = 1;
+  /// Busy-loop chunk each worker computes between action boundaries; also
+  /// the eviction latency bound — an evicted worker exits at its next
+  /// boundary.
+  sim::Nanos work_chunk = sim::millis(2);
+};
+
+enum class JobState : std::uint8_t {
+  kPending,   // waiting for placement (includes re-placement after failure)
+  kPlacing,   // spawned on a node, in-sim admission still in flight
+  kRunning,   // every worker admitted (alive, for best-effort)
+  kShed,      // evicted for capacity; retried like kPending when room returns
+  kLost,      // node died and failover is disabled
+  kFailed,    // exhausted max_place_attempts spawn/admission failures
+};
+
+[[nodiscard]] const char* job_state_name(JobState s);
+
+}  // namespace hrt::cluster

@@ -62,6 +62,13 @@ struct Config {
   /// ledger's headroom on an SMI-hit CPU would overcommit the capacity the
   /// CPU can actually deliver.  No-op while the estimator reads zero.
   bool split_degrade_missing_time = true;
+  /// Aligned split release (docs/GLOBAL.md): spawn_split stamps every chunk
+  /// with an anchored release grid (rt::Constraints::align_release), so the
+  /// chunks' release grids coincide exactly even though each chunk's
+  /// admission runs — and may retry — at its own time.  Off restores the
+  /// historical behavior where grids were aligned only to within the
+  /// admission-time skew.
+  bool split_aligned_release = true;
   /// Rebalancer knobs (rebalancer.hpp).
   double rebalance_threshold = 0.25;  // act when max-min committed gap >= this
   std::uint32_t admit_retries = 3;    // auto-admit attempts before giving up

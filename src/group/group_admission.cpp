@@ -3,6 +3,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "nautilus/kernel.hpp"
+#include "telemetry/telemetry.hpp"
+
 namespace hrt::grp {
 
 namespace {
@@ -170,9 +173,17 @@ nk::Action GroupChangeConstraints::next(nk::ThreadCtx& ctx) {
           c.phase += (n - 1 - release_order_) * group_.departure_delta();
         }
         return nk::Action::change_constraints(
-            c, [this](nk::ThreadCtx& cx) {
+            c, [this, c](nk::ThreadCtx& cx) {
               success_ = cx.last_admit_ok;
-              if (group_.leader() == &cx.self) group_.unlock();
+              if (group_.leader() == &cx.self) {
+                group_.unlock();
+                // Auto-derived group SLO (docs/OBSERVABILITY.md): the leader
+                // of a successful commit registers a burn-rate spec for the
+                // whole group from the constraints it just admitted.
+                if (success_ && cx.kernel.telemetry() != nullptr) {
+                  cx.kernel.telemetry()->derive_group_slo(group_.name(), c);
+                }
+              }
               timing_.total_done = cx.wall_now;
               done_ = true;
             });

@@ -52,6 +52,20 @@ struct Constraints {
   sim::Nanos size = 0;              // omega
   sim::Nanos deadline_offset = 0;   // deadline relative to Gamma
 
+  // Anchored release grid (periodic only; docs/GLOBAL.md "Aligned split
+  // release").  When set, admission re-resolves the phase so every release
+  // lands exactly on the absolute grid
+  //   { release_anchor + (phase mod period) + m * period },
+  // preserving the whole-period part of the phase as a pipeline offset.
+  // Tasks sharing (anchor, phase residue, period) then share one release
+  // grid no matter when each one's admission actually ran — this is what
+  // lines up semi-partitioned pipeline chunks that admit independently.
+  // The scheduler rewrites (phase, release_anchor) at commit so the stored
+  // constraints describe the same grid, making re-admission (migration
+  // hand-off, retry) idempotent.
+  bool align_release = false;
+  sim::Nanos release_anchor = 0;
+
   [[nodiscard]] static Constraints aperiodic(
       AperiodicPriority mu = kDefaultPriority) {
     Constraints c;

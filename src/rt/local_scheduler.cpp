@@ -720,8 +720,25 @@ void LocalScheduler::detach_bookkeeping(nk::Thread* t) {
   t->rt.in_pending = false;
 }
 
-bool LocalScheduler::change_constraints(nk::Thread& t, const Constraints& c,
+bool LocalScheduler::change_constraints(nk::Thread& t, const Constraints& req,
                                         sim::Nanos gamma) {
+  Constraints c = req;
+  if (c.align_release && c.cls == ConstraintClass::kPeriodic && c.period > 0 &&
+      c.phase >= 0) {
+    // Anchored release grid (constraints.hpp): resolve the phase against the
+    // actual admission time so the first arrival is the earliest grid point
+    // >= gamma, then re-anchor so the stored constraints name the same grid
+    // (re-admission at any future gamma re-aligns identically).
+    const sim::Nanos tau = c.period;
+    const sim::Nanos keep = (c.phase / tau) * tau;  // pipeline offset
+    const sim::Nanos res = c.phase % tau;           // requested grid residue
+    sim::Nanos r = (c.release_anchor + res - gamma) % tau;
+    if (r < 0) r += tau;
+    sim::Nanos a2 = (c.release_anchor + res - r) % tau;
+    if (a2 < 0) a2 += tau;
+    c.release_anchor = a2;
+    c.phase = keep + r;
+  }
   // A two-phase reservation (group admission, migration hold, batch spawn)
   // is consumed only on a SUCCESSFUL commit: the admission test excludes
   // t's own reservation, so it needs no cancel-first, and a rejected commit

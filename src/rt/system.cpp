@@ -212,9 +212,17 @@ std::vector<nk::Thread*> System::spawn_split(
     std::unique_ptr<nk::Behavior> inner =
         make_inner ? make_inner(i)
                    : std::make_unique<nk::BusyLoopBehavior>(sim::millis(2));
+    rt::Constraints cc = sc.constraints;
+    if (global_->config().split_aligned_release) {
+      // Anchored release grid: all chunks share anchor 0, so their admitted
+      // grids coincide exactly even though each chunk's admission (with its
+      // own gamma, possibly after retries) runs at a different time.
+      cc.align_release = true;
+      cc.release_anchor = 0;
+    }
     out.push_back(kernel_->create_thread(
-        name + "." + std::to_string(i),
-        global_->auto_admit(sc.constraints, std::move(inner)), sc.cpu));
+        name + "." + std::to_string(i), global_->auto_admit(cc, std::move(inner)),
+        sc.cpu));
   }
   return out;
 }

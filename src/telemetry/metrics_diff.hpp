@@ -1,0 +1,373 @@
+// hrt-metrics-diff: structural diff of two `hrt-metrics-v1` snapshots
+// (export.hpp write_metrics_json), for cross-PR perf triage of the
+// bench/snapshots/ trajectory (docs/OBSERVABILITY.md).
+//
+// The parser is a small special-purpose JSON reader for the one schema this
+// repo emits — tolerant in the same spirit as parse_chrome_trace: unknown
+// keys are flattened like any other, malformed input yields ok=false with a
+// message instead of throwing, and nothing outside numeric/bool leaves is
+// kept.  Every counter and quantile becomes one flat key:
+//
+//   now_ns / threads_dropped
+//   cpu.<n>.passes ... cpu.<n>.pass_span_ns.mean ...
+//   thread.<name>.completions / thread.<name>.slack_ns.p99 ...
+//   slo.<name>.burn_rate / slo.<name>.alerts ...
+//   recorder.written / recorder.sampled_cost_ns.mean ...
+//
+// diff_metrics() then reports per-key deltas plus keys present on only one
+// side (a thread that appeared or vanished between two runs is itself a
+// finding).  Header-only: the CLI (bench/hrt_metrics_diff.cpp) and the unit
+// test are the two consumers.
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstddef>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hrt::telemetry {
+
+struct MetricsSnapshot {
+  bool ok = false;
+  std::string error;
+  /// Flat key -> numeric value (booleans coerce to 0/1).
+  std::map<std::string, double> values;
+  /// String leaves (schema tag, thread/slo names) kept aside: they identify
+  /// rows, they are not metrics.
+  std::map<std::string, std::string> names;
+};
+
+struct MetricsDiffRow {
+  std::string key;
+  double before = 0.0;
+  double after = 0.0;
+  double delta = 0.0;
+  bool only_before = false;  // key vanished in `after`
+  bool only_after = false;   // key appeared in `after`
+};
+
+namespace diff_detail {
+
+/// Minimal recursive-descent JSON reader over the snapshot text.  It only
+/// distinguishes what the flattener needs: objects, arrays, strings,
+/// numbers, and true/false/null.
+class Reader {
+ public:
+  explicit Reader(std::string_view s) : s_(s) {}
+
+  [[nodiscard]] bool failed() const { return failed_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  void fail(const std::string& why) {
+    if (!failed_) {
+      failed_ = true;
+      error_ = why + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() {
+    skip_ws();
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    fail(std::string("expected '") + c + "'");
+    return false;
+  }
+
+  /// Parse a JSON string (escapes decoded well enough for keys/names).
+  std::string string() {
+    if (!consume('"')) return {};
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\' && pos_ < s_.size()) {
+        char e = s_[pos_++];
+        switch (e) {
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u':
+            // Keys in this schema are ASCII; keep the escape verbatim.
+            out.push_back('u');
+            break;
+          default: out.push_back(e); break;
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    if (pos_ >= s_.size()) {
+      fail("unterminated string");
+      return out;
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  double number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == 'n' || s_[pos_] == 'a' || s_[pos_] == 'i' ||
+            s_[pos_] == 'f')) {
+      ++pos_;  // `nan`/`inf` appear when a histogram is empty
+    }
+    if (pos_ == start) {
+      fail("expected number");
+      return 0.0;
+    }
+    const std::string tok(s_.substr(start, pos_ - start));
+    if (tok.find("nan") != std::string::npos) return 0.0;
+    if (tok.find("inf") != std::string::npos) return 0.0;
+    try {
+      return std::stod(tok);
+    } catch (...) {
+      fail("bad number '" + tok + "'");
+      return 0.0;
+    }
+  }
+
+  bool literal(std::string_view lit) {
+    skip_ws();
+    if (s_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+  std::string error_;
+};
+
+inline std::string join_key(const std::string& prefix, const std::string& k) {
+  return prefix.empty() ? k : prefix + "." + k;
+}
+
+/// Flatten one JSON value under `prefix` into snap.values.  Array elements
+/// are objects in this schema; each is re-prefixed by its natural identity
+/// key ("cpu" for cpus[], "name" for threads[]/slos[]) when present, else by
+/// index.
+inline void flatten_value(Reader& r, const std::string& prefix,
+                          MetricsSnapshot& snap);
+
+inline void flatten_object(Reader& r, const std::string& prefix,
+                           MetricsSnapshot& snap) {
+  if (!r.consume('{')) return;
+  if (r.peek() == '}') {
+    r.consume('}');
+    return;
+  }
+  while (!r.failed()) {
+    const std::string key = r.string();
+    if (!r.consume(':')) return;
+    flatten_value(r, join_key(prefix, key), snap);
+    if (r.peek() == ',') {
+      r.consume(',');
+      continue;
+    }
+    r.consume('}');
+    return;
+  }
+}
+
+/// Scan an array of objects: buffer each element's leaves under a temporary
+/// index prefix, then re-home them under the element's identity key.
+inline void flatten_array(Reader& r, const std::string& prefix,
+                          MetricsSnapshot& snap) {
+  if (!r.consume('[')) return;
+  if (r.peek() == ']') {
+    r.consume(']');
+    return;
+  }
+  // "cpus" -> "cpu", "threads" -> "thread", "slos" -> "slo"; other arrays
+  // keep their name as the per-element prefix.
+  std::string stem = prefix;
+  if (!stem.empty() && stem.back() == 's') stem.pop_back();
+  std::size_t index = 0;
+  while (!r.failed()) {
+    MetricsSnapshot element;
+    if (r.peek() == '{') {
+      // Parse the element into a scratch snapshot keyed without prefix;
+      // its "cpu"/"name" field becomes the identity.
+      flatten_object(r, "", element);
+      std::string id;
+      auto it = element.values.find("cpu");
+      if (stem == "cpu" && it != element.values.end()) {
+        std::ostringstream os;
+        os << static_cast<long long>(it->second);
+        id = os.str();
+      }
+      if (id.empty()) {
+        auto nit = element.names.find("name");
+        if (nit != element.names.end()) id = nit->second;
+      }
+      if (id.empty()) id = std::to_string(index);
+      for (const auto& [k, v] : element.values) {
+        if (stem == "cpu" && k == "cpu") continue;     // identity, not a metric
+        if (stem == "thread" && k == "tid") continue;  // ids shift across runs
+        snap.values[stem + "." + id + "." + k] = v;
+      }
+    } else {
+      // Array of scalars (not in this schema, but stay tolerant).
+      flatten_value(r, stem + "." + std::to_string(index), snap);
+    }
+    ++index;
+    if (r.peek() == ',') {
+      r.consume(',');
+      continue;
+    }
+    r.consume(']');
+    return;
+  }
+}
+
+inline void flatten_value(Reader& r, const std::string& prefix,
+                          MetricsSnapshot& snap) {
+  switch (r.peek()) {
+    case '{':
+      flatten_object(r, prefix, snap);
+      return;
+    case '[':
+      flatten_array(r, prefix, snap);
+      return;
+    case '"': {
+      const std::string v = r.string();
+      snap.names[prefix] = v;  // strings kept aside for identity keys
+      return;
+    }
+    default:
+      if (r.literal("true")) {
+        snap.values[prefix] = 1.0;
+        return;
+      }
+      if (r.literal("false")) {
+        snap.values[prefix] = 0.0;
+        return;
+      }
+      if (r.literal("null")) return;
+      snap.values[prefix] = r.number();
+      return;
+  }
+}
+
+}  // namespace diff_detail
+
+/// Parse one hrt-metrics-v1 snapshot into flat numeric keys.  ok=false with
+/// an error message on malformed input or a wrong/missing schema tag.
+[[nodiscard]] inline MetricsSnapshot parse_metrics_snapshot(
+    std::string_view json) {
+  MetricsSnapshot snap;
+  diff_detail::Reader r(json);
+  diff_detail::flatten_object(r, "", snap);
+  if (r.failed()) {
+    snap.error = r.error();
+    return snap;
+  }
+  auto it = snap.names.find("schema");
+  if (it == snap.names.end() || it->second != "hrt-metrics-v1") {
+    snap.error = "not an hrt-metrics-v1 snapshot";
+    return snap;
+  }
+  snap.ok = true;
+  return snap;
+}
+
+/// Per-key deltas between two parsed snapshots, sorted by |delta| descending
+/// (appear/vanish rows first, then the biggest movers).  With only_changed
+/// (the default) keys whose values are bit-equal are omitted.
+[[nodiscard]] inline std::vector<MetricsDiffRow> diff_metrics(
+    const MetricsSnapshot& before, const MetricsSnapshot& after,
+    bool only_changed = true) {
+  std::vector<MetricsDiffRow> rows;
+  for (const auto& [k, v] : before.values) {
+    MetricsDiffRow row;
+    row.key = k;
+    row.before = v;
+    auto it = after.values.find(k);
+    if (it == after.values.end()) {
+      row.only_before = true;
+      row.delta = -v;
+    } else {
+      row.after = it->second;
+      row.delta = it->second - v;
+      if (only_changed && row.delta == 0.0) continue;
+    }
+    rows.push_back(std::move(row));
+  }
+  for (const auto& [k, v] : after.values) {
+    if (before.values.find(k) != before.values.end()) continue;
+    MetricsDiffRow row;
+    row.key = k;
+    row.after = v;
+    row.delta = v;
+    row.only_after = true;
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const MetricsDiffRow& a, const MetricsDiffRow& b) {
+              const int sa = (a.only_before || a.only_after) ? 0 : 1;
+              const int sb = (b.only_before || b.only_after) ? 0 : 1;
+              if (sa != sb) return sa < sb;
+              if (std::fabs(a.delta) != std::fabs(b.delta)) {
+                return std::fabs(a.delta) > std::fabs(b.delta);
+              }
+              return a.key < b.key;
+            });
+  return rows;
+}
+
+/// Human-readable rendering, one row per line:
+///   cpu.3.passes           1200 -> 1350   (+150)
+///   thread.web.7.misses    (gone, was 2)
+/// `limit` truncates long reports (0 = unlimited); a trailing line counts
+/// what was cut, so truncation is never silent.
+[[nodiscard]] inline std::string format_metrics_diff(
+    const std::vector<MetricsDiffRow>& rows, std::size_t limit = 0) {
+  std::ostringstream os;
+  std::size_t shown = 0;
+  for (const MetricsDiffRow& row : rows) {
+    if (limit > 0 && shown >= limit) break;
+    os << "  " << row.key << "  ";
+    if (row.only_before) {
+      os << "(gone, was " << row.before << ")";
+    } else if (row.only_after) {
+      os << "(new: " << row.after << ")";
+    } else {
+      os << row.before << " -> " << row.after << "  ("
+         << (row.delta >= 0 ? "+" : "") << row.delta << ")";
+    }
+    os << "\n";
+    ++shown;
+  }
+  if (limit > 0 && rows.size() > limit) {
+    os << "  ... " << (rows.size() - limit) << " more rows truncated\n";
+  }
+  if (rows.empty()) os << "  (no differences)\n";
+  return os.str();
+}
+
+}  // namespace hrt::telemetry

@@ -28,6 +28,12 @@ namespace hrt::telemetry {
 ///   kStorm*/kDrain/kShed/kRestore  observed fraction / moved util in ppm
 ///   kBarrierArrive/Release  arrival count
 ///   kSloAlert      burn rate in ppm (arg), tid = 0
+///   kNodeUp/Down/Drain  cluster node lifecycle (cpu = node id)
+///   kReplace       re-placement of a cluster job (tid = job id,
+///                  arg = destination node)
+///   kPreempt       cluster-level best-effort preemption (tid = job id)
+///   kClusterShed   cluster-level shed of an RT job (tid = job id,
+///                  arg = tenant criticality)
 ///   kCustom        benchmark-defined
 enum class EventKind : std::uint8_t {
   kPass = 0,
@@ -50,6 +56,12 @@ enum class EventKind : std::uint8_t {
   kBarrierArrive,
   kBarrierRelease,
   kSloAlert,
+  kNodeUp,
+  kNodeDown,
+  kNodeDrain,
+  kReplace,
+  kPreempt,
+  kClusterShed,
   kCustom,
 };
 

@@ -45,6 +45,18 @@ const char* event_kind_name(EventKind k) {
       return "barrier-arrive";
     case EventKind::kBarrierRelease:
       return "barrier-release";
+    case EventKind::kNodeUp:
+      return "node-up";
+    case EventKind::kNodeDown:
+      return "node-down";
+    case EventKind::kNodeDrain:
+      return "node-drain";
+    case EventKind::kReplace:
+      return "replace";
+    case EventKind::kPreempt:
+      return "preempt";
+    case EventKind::kClusterShed:
+      return "cluster-shed";
     case EventKind::kSloAlert:
       return "slo-alert";
     case EventKind::kCustom:

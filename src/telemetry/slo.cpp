@@ -15,6 +15,27 @@ SloMonitor::SloMonitor(std::vector<SloSpec> specs) {
   totals_misses_.assign(states_.size(), 0);
 }
 
+std::size_t SloMonitor::add_spec(SloSpec spec) {
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (states_[i].spec.name == spec.name) return i;
+  }
+  if (spec.window_ns <= 0) spec.window_ns = sim::millis(100);
+  if (spec.miss_budget <= 0.0) spec.miss_budget = 1e-9;
+  State st;
+  st.spec = std::move(spec);
+  states_.push_back(std::move(st));
+  totals_completions_.push_back(0);
+  totals_misses_.push_back(0);
+  return states_.size() - 1;
+}
+
+bool SloMonitor::has(std::string_view name) const {
+  for (const State& st : states_) {
+    if (st.spec.name == name) return true;
+  }
+  return false;
+}
+
 void SloMonitor::rotate(State& st, sim::Nanos now) const {
   // Advance the two-bucket window pair until `now` falls in the current
   // window.  Jumping more than one window ahead clears both buckets.

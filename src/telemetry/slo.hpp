@@ -50,6 +50,14 @@ class SloMonitor {
 
   explicit SloMonitor(std::vector<SloSpec> specs);
 
+  /// Register one more spec at runtime (auto-derived group SLOs).  Returns
+  /// its index; a spec whose name already exists is not duplicated and the
+  /// existing index is returned instead.
+  std::size_t add_spec(SloSpec spec);
+
+  /// True when a spec with this name is already registered.
+  [[nodiscard]] bool has(std::string_view name) const;
+
   void set_alert_fn(AlertFn fn) { alert_fn_ = std::move(fn); }
 
   [[nodiscard]] bool empty() const { return states_.empty(); }

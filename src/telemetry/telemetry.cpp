@@ -1,7 +1,9 @@
 #include "telemetry/telemetry.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <string>
 
 #include "audit/auditor.hpp"
 
@@ -130,6 +132,30 @@ void Telemetry::on_event(std::uint32_t cpu, sim::Nanos now, EventKind kind,
 void Telemetry::set_effective_capacity(std::uint32_t cpu, double cap) {
   if (!cfg_.enabled) return;
   metrics_->cpu(cpu).effective_capacity = cap;
+}
+
+void Telemetry::derive_group_slo(std::string_view group_name,
+                                 const rt::Constraints& admitted) {
+  if (!cfg_.enabled || !cfg_.auto_group_slos || !admitted.is_realtime()) {
+    return;
+  }
+  SloSpec s;
+  s.name = "group:" + std::string(group_name);
+  if (slo_->has(s.name)) return;
+  // spawn_group_auto names members "<group>.<i>"; the trailing dot keeps a
+  // group "g" from also matching a group "g2"'s workers.
+  s.thread_match = std::string(group_name) + ".";
+  s.miss_budget = cfg_.group_slo_budget;
+  // One deadline window per arrival: periodic groups miss against the
+  // period, sporadic ones against the deadline offset.
+  const sim::Nanos window =
+      admitted.cls == rt::ConstraintClass::kPeriodic
+          ? admitted.period
+          : admitted.deadline_offset - admitted.phase;
+  const std::uint64_t n = cfg_.group_slo_windows > 0 ? cfg_.group_slo_windows : 1;
+  s.window_ns = std::max<sim::Nanos>(sim::millis(1),
+                                     window * static_cast<sim::Nanos>(n));
+  slo_->add_spec(std::move(s));
 }
 
 }  // namespace hrt::telemetry

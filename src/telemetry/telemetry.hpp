@@ -14,6 +14,7 @@
 #include <memory>
 #include <string_view>
 
+#include "rt/constraints.hpp"
 #include "sim/time.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/recorder.hpp"
@@ -37,6 +38,15 @@ struct Config {
   /// Raise an audit kSloBudget violation when an SLO alert fires (requires
   /// an attached auditor with check_slo set).
   bool slo_audit = true;
+  /// Auto-derive one SLO spec per admitted thread group from the group's
+  /// admitted constraints (docs/OBSERVABILITY.md): spec "group:<name>"
+  /// matching "<name>." threads, window = group_slo_windows periods (or
+  /// deadline windows for sporadic groups), budget group_slo_budget.  The
+  /// group admission protocol's commit step calls derive_group_slo; specs
+  /// are deduplicated by name, so re-admission is idempotent.
+  bool auto_group_slos = true;
+  double group_slo_budget = 0.01;
+  std::uint64_t group_slo_windows = 100;
 };
 
 class Telemetry {
@@ -78,6 +88,12 @@ class Telemetry {
                 std::uint32_t tid, std::int64_t arg);
   /// Gauge: effective RT capacity published for a CPU.
   void set_effective_capacity(std::uint32_t cpu, double cap);
+
+  /// Auto-derive a burn-rate SLO for an admitted thread group (see
+  /// Config::auto_group_slos).  No-op when disabled or when "group:<name>"
+  /// already exists.
+  void derive_group_slo(std::string_view group_name,
+                        const rt::Constraints& admitted);
 
   // --- cold-path access --------------------------------------------------
 

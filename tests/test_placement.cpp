@@ -9,6 +9,7 @@
 #include <functional>
 #include <set>
 
+#include "audit/replay.hpp"
 #include "global/global_scheduler.hpp"
 #include "group/group_admission.hpp"
 #include "rt/system.hpp"
@@ -455,9 +456,76 @@ TEST(Overflow, SpawnSplitAdmitsOversizedTask) {
     total_slice += t->constraints.slice;
   }
   EXPECT_EQ(total_slice, c.slice);
-  EXPECT_EQ(chunks[1]->constraints.phase - chunks[0]->constraints.phase,
-            c.period);
+  // Aligned release grids (docs/GLOBAL.md): the chunks' absolute first
+  // arrivals (gamma + committed phase) sit exactly one period apart on one
+  // shared grid, and the whole-period pipeline offsets are preserved.
+  const sim::Nanos a0 = chunks[0]->rt.gamma + chunks[0]->constraints.phase;
+  const sim::Nanos a1 = chunks[1]->rt.gamma + chunks[1]->constraints.phase;
+  EXPECT_EQ(((a1 - a0) % c.period + c.period) % c.period, 0);
+  // Whole-period phase parts: the spec's own phase offset plus the chunk
+  // index (chunk i trails chunk 0 by i periods in the pipeline).
+  EXPECT_EQ(chunks[0]->constraints.phase / c.period, c.phase / c.period);
+  EXPECT_EQ(chunks[1]->constraints.phase / c.period, c.phase / c.period + 1);
   EXPECT_EQ(sys.auditor().total_violations(), 0u);
+}
+
+// Regression for the docs/GLOBAL.md caveat this PR closes: chunks admitting
+// at skewed gammas used to carry grids offset by the skew.  With aligned
+// release (the default) the commit-time rewrite lands every chunk on the
+// shared anchor grid exactly; with it disabled the historical misalignment
+// is reproduced, proving the fix is load-bearing.
+TEST(Overflow, SplitChunksShareExactReleaseGridUnderSkew) {
+  for (const bool aligned : {true, false}) {
+    System::Options o = placed(2, 0);
+    o.placement_config.split_aligned_release = aligned;
+    System sys(std::move(o));
+    sys.machine().trace().enable();
+    sys.boot();
+    // One-shot aperiodic hogs of different lengths delay each chunk's first
+    // run — and therefore its admission gamma — by different amounts.
+    sys.spawn("hog0", finite_worker(1, sim::micros(70)), 0, 5);
+    sys.spawn("hog1", finite_worker(1, sim::micros(130)), 1, 5);
+    const auto c = rt::Constraints::periodic(sim::millis(1), sim::millis(1),
+                                             sim::micros(900));
+    const auto chunks = sys.spawn_split("wide", c);
+    ASSERT_EQ(chunks.size(), 2u);
+    sys.run_for(sim::millis(40));
+    for (nk::Thread* t : chunks) ASSERT_TRUE(admitted_rt(t));
+    const sim::Nanos skew = chunks[1]->rt.gamma - chunks[0]->rt.gamma;
+    ASSERT_NE(skew % c.period, 0) << "scenario must produce admission skew";
+
+    const sim::Nanos a0 = chunks[0]->rt.gamma + chunks[0]->constraints.phase;
+    const sim::Nanos a1 = chunks[1]->rt.gamma + chunks[1]->constraints.phase;
+    const sim::Nanos grid_offset = ((a1 - a0) % c.period + c.period) % c.period;
+    if (!aligned) {
+      EXPECT_NE(grid_offset, 0) << "pre-fix behavior: grids offset by skew";
+      continue;
+    }
+    EXPECT_EQ(grid_offset, 0) << "chunks must share one release grid";
+    EXPECT_EQ(chunks[1]->constraints.phase / c.period -
+                  chunks[0]->constraints.phase / c.period,
+              1)
+        << "pipeline offset preserved";
+    // The previously-misaligned split now passes the replay oracle with
+    // zero misses on both CPUs.
+    const audit::ReplayConfig cfg =
+        audit::replay_config_for(sys.machine().spec());
+    for (nk::Thread* t : chunks) {
+      EXPECT_EQ(t->rt.misses, 0u);
+      const std::vector<audit::ReplayTask> tasks = {
+          {t->id, t->constraints, t->rt.gamma}};
+      audit::ReplayResult r = audit::replay_edf(
+          sys.machine().trace(), t->cpu, tasks, cfg, sys.engine().now());
+      for (const auto& d : r.divergences) {
+        ADD_FAILURE() << "cpu " << t->cpu << " t=" << d.time << "ns: "
+                      << d.detail;
+      }
+      audit::verify_stats(r, t->id, t->rt.arrivals, t->rt.completions,
+                          t->rt.misses, 2);
+      EXPECT_TRUE(r.ok());
+    }
+    EXPECT_EQ(sys.auditor().total_violations(), 0u);
+  }
 }
 
 TEST(Placement, ChurnKeepsLedgerInvariants) {

@@ -672,5 +672,63 @@ TEST(TelemetryExport, MetricsJsonIsWellFormed) {
             std::count(json.begin(), json.end(), ']'));
 }
 
+// ---------- satellite: auto-derived group SLOs ----------
+
+TEST(TelemetrySloSystem, GroupAdmissionDerivesSloSpec) {
+  System::Options o = observed(4);
+  o.telemetry.group_slo_budget = 0.02;
+  o.telemetry.group_slo_windows = 50;
+  System sys(std::move(o));
+  sys.boot();
+  const auto c = rt::Constraints::periodic(sim::millis(2), sim::millis(1),
+                                           sim::micros(150));
+  const auto members = sys.spawn_group_auto(
+      "team", 3, c,
+      [](std::uint32_t) { return std::make_unique<nk::BusyLoopBehavior>(
+                              sim::micros(100)); });
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_FALSE(sys.telemetry().slo().has("group:team"))
+      << "spec must appear at commit, not at spawn";
+  sys.run_for(sim::millis(40));
+
+  // The commit step of the group admission protocol derived one spec from
+  // the admitted constraints: window = 50 periods, prefix "team.".
+  ASSERT_TRUE(sys.telemetry().slo().has("group:team"));
+  const auto status = sys.telemetry().slo().status(sys.engine().now());
+  const telemetry::SloStatus* st = nullptr;
+  for (const auto& s : status) {
+    if (s.spec->name == "group:team") st = &s;
+  }
+  ASSERT_NE(st, nullptr);
+  EXPECT_EQ(st->spec->thread_match, "team.");
+  EXPECT_DOUBLE_EQ(st->spec->miss_budget, 0.02);
+  EXPECT_EQ(st->spec->window_ns, 50 * c.period);
+  // The derived spec tracks the members' completions and stays quiet on a
+  // feasible group.
+  EXPECT_GT(st->completions, 50u);
+  EXPECT_EQ(st->misses, 0u);
+  EXPECT_FALSE(st->alerting);
+  // Idempotent under churn: only one spec per group name ever exists.
+  std::size_t team_specs = 0;
+  for (const auto& s : status) {
+    if (s.spec->name == "group:team") ++team_specs;
+  }
+  EXPECT_EQ(team_specs, 1u);
+}
+
+TEST(TelemetrySloSystem, GroupSloDerivationCanBeDisabled) {
+  System::Options o = observed(4);
+  o.telemetry.auto_group_slos = false;
+  System sys(std::move(o));
+  sys.boot();
+  const auto c = rt::Constraints::periodic(sim::millis(2), sim::millis(1),
+                                           sim::micros(150));
+  sys.spawn_group_auto("quiet", 2, c, [](std::uint32_t) {
+    return std::make_unique<nk::BusyLoopBehavior>(sim::micros(100));
+  });
+  sys.run_for(sim::millis(20));
+  EXPECT_FALSE(sys.telemetry().slo().has("group:quiet"));
+}
+
 }  // namespace
 }  // namespace hrt
